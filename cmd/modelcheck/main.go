@@ -1,0 +1,82 @@
+// Command modelcheck exhaustively verifies the paper's correctness
+// arguments over every interleaving of small thread mixes:
+//
+//   - the ABSTRACT model (Algorithm 2, the generic spin-flag condvar):
+//     the five Lemma 2 invariants in every reachable state, Definition 1's
+//     "WaitStep2 returns false" at every linearization, and the absence of
+//     lost wake-ups in terminal states;
+//   - the IMPLEMENTATION model (Algorithms 3–6, the transactional queue of
+//     semaphores with commit-deferred SEMPOST): each semaphore receives at
+//     most one post, no waiter wakes unposted, and no notified waiter is
+//     lost.
+//
+// Usage:
+//
+//	modelcheck [-waiters N] [-notifyone N] [-notifyall N]
+//
+// With no flags, a standard battery of mixes runs. State counts grow
+// combinatorially; mixes up to 5 threads verify in well under a second.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	waiters := flag.Int("waiters", 0, "waiter threads (0 = run the standard battery)")
+	notifyOne := flag.Int("notifyone", 0, "NotifyOne threads")
+	notifyAll := flag.Int("notifyall", 0, "NotifyAll threads")
+	flag.Parse()
+
+	if *waiters+*notifyOne+*notifyAll > 0 {
+		runMix(*waiters, *notifyOne, *notifyAll)
+		return
+	}
+
+	battery := [][3]int{
+		{1, 1, 0}, {2, 1, 0}, {2, 2, 0}, {3, 2, 0},
+		{1, 0, 1}, {2, 0, 1}, {3, 0, 1}, {2, 0, 2},
+		{2, 1, 1}, {3, 1, 1},
+	}
+	for _, m := range battery {
+		runMix(m[0], m[1], m[2])
+	}
+	fmt.Println("RESULT: all mixes verified")
+}
+
+func runMix(w, n1, na int) {
+	var abs []core.Role
+	var impl []core.ImplRole
+	for i := 0; i < w; i++ {
+		abs = append(abs, core.RoleWaiter)
+		impl = append(impl, core.ImplWaiter)
+	}
+	for i := 0; i < n1; i++ {
+		abs = append(abs, core.RoleNotifyOne)
+		impl = append(impl, core.ImplNotifyOne)
+	}
+	for i := 0; i < na; i++ {
+		abs = append(abs, core.RoleNotifyAll)
+		impl = append(impl, core.ImplNotifyAll)
+	}
+
+	aRes, aErr := core.CheckModel(abs)
+	iRes, iErr := core.CheckImplModel(impl)
+	fmt.Printf("mix %dw/%dn1/%dnall: abstract %6d states, impl %6d states",
+		w, n1, na, aRes.States, iRes.States)
+	if aErr != nil || iErr != nil {
+		fmt.Println("  VIOLATION")
+		if aErr != nil {
+			fmt.Fprintln(os.Stderr, "  abstract:", aErr)
+		}
+		if iErr != nil {
+			fmt.Fprintln(os.Stderr, "  impl:", iErr)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("  ok")
+}

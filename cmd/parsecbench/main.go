@@ -1,0 +1,115 @@
+// Command parsecbench regenerates the paper's evaluation (Section 5):
+// Figures 1 and 2 (per-benchmark time vs threads under the three systems,
+// on the STM "westmere" and simulated-HTM "haswell" machines) and Figure 3
+// (geometric-mean speedup vs the pthread baseline).
+//
+// Usage:
+//
+//	parsecbench [flags]
+//
+//	-machine westmere|haswell   TM substrate (default westmere → Figure 1)
+//	-bench   name[,name...]     subset of benchmarks (default: all eight)
+//	-threads N                  max thread count (default 8)
+//	-trials  N                  timed trials per cell (default 3; paper used 5)
+//	-warmup  N                  untimed warm-up runs per cell (default 1)
+//	-preset  name               test / simsmall / native / large inputs
+//	-scale   F                  explicit scale factor (overrides -preset)
+//	-seed    N                  input seed
+//	-summary                    print only the Figure 3 speedup table
+//	-quiet                      suppress live progress lines
+//
+// Examples:
+//
+//	parsecbench -machine westmere              # Figure 1 data + Figure 3(a)
+//	parsecbench -machine haswell               # Figure 2 data + Figure 3(b)
+//	parsecbench -bench dedup -threads 4        # just the dedup anomaly
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/parsec"
+)
+
+func main() {
+	machine := flag.String("machine", "westmere", "TM substrate: westmere (STM) or haswell (simulated HTM)")
+	benchList := flag.String("bench", "", "comma-separated benchmark subset (default all)")
+	threads := flag.Int("threads", 8, "maximum thread count")
+	trials := flag.Int("trials", 3, "timed trials per configuration")
+	warmup := flag.Int("warmup", 1, "warm-up runs per configuration")
+	scale := flag.Float64("scale", 0, "workload scale factor (overrides -preset)")
+	preset := flag.String("preset", "native", "input preset: test (0.25), simsmall (0.5), native (1.0), large (2.0)")
+	seed := flag.Uint64("seed", 0x5EED, "workload input seed")
+	summary := flag.Bool("summary", false, "print only the Figure 3 speedup table")
+	csv := flag.Bool("csv", false, "emit the raw grid as CSV instead of tables")
+	quiet := flag.Bool("quiet", false, "suppress live progress")
+	flag.Parse()
+
+	effScale := *scale
+	if effScale <= 0 {
+		switch *preset {
+		case "test":
+			effScale = 0.25
+		case "simsmall":
+			effScale = 0.5
+		case "native":
+			effScale = 1.0
+		case "large":
+			effScale = 2.0
+		default:
+			fmt.Fprintf(os.Stderr, "parsecbench: unknown preset %q\n", *preset)
+			os.Exit(2)
+		}
+	}
+
+	var m parsec.Machine
+	var figure string
+	switch *machine {
+	case "westmere":
+		m, figure = parsec.Westmere, "1"
+	case "haswell":
+		m, figure = parsec.Haswell, "2"
+	default:
+		fmt.Fprintf(os.Stderr, "parsecbench: unknown machine %q (want westmere or haswell)\n", *machine)
+		os.Exit(2)
+	}
+
+	var benches []parsec.Benchmark
+	if *benchList != "" {
+		for _, name := range strings.Split(*benchList, ",") {
+			b, err := parsec.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "parsecbench:", err)
+				os.Exit(2)
+			}
+			benches = append(benches, b)
+		}
+	}
+
+	cfg := harness.SweepConfig{
+		Benchmarks: benches,
+		Machine:    m,
+		MaxThreads: *threads,
+		Trials:     *trials,
+		Warmup:     *warmup,
+		Scale:      effScale,
+		Seed:       *seed,
+	}
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
+
+	sw := harness.Run(cfg)
+	switch {
+	case *csv:
+		sw.WriteCSV(os.Stdout)
+	case *summary:
+		sw.WriteSpeedups(os.Stdout)
+	default:
+		fmt.Print(sw.Render(figure))
+	}
+}

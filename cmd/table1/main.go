@@ -1,0 +1,21 @@
+// Command table1 regenerates the paper's Table 1 ("Synchronization
+// characteristics of PARSEC source code"): per benchmark, the number of
+// atomic blocks in the transactionalized configuration, how many of them
+// contain condition-variable operations (barrier sites in parentheses),
+// and how many wait sites were split by manual refactoring.
+//
+// Two columns are printed per quantity: this reproduction's counts
+// (application code plus the facility variants it instantiates) and the
+// paper's original counts, whose TOTAL row is 65 / 19 (6) / 11 (5).
+package main
+
+import (
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/parsec"
+)
+
+func main() {
+	harness.WriteTable1(os.Stdout, parsec.All())
+}

@@ -1,0 +1,22 @@
+// Package repro is a from-scratch Go reproduction of "Transaction-Friendly
+// Condition Variables" (Chao Wang, Yujie Liu, Michael Spear — SPAA 2014).
+//
+// The paper's contribution — a condition variable implemented as a
+// transactional queue of per-thread semaphores, usable from locks,
+// transactions, and unsynchronized code, with no spurious wake-ups — lives
+// in internal/core. Its substrates (a software/simulated-hardware TM
+// engine, counting semaphores, sync contexts) and its evaluation (eight
+// PARSEC-style workloads under three synchronization systems) live in the
+// other internal packages. See README.md for the tour, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for paper-vs-measured results.
+//
+// The benchmarks in bench_test.go regenerate every table and figure in the
+// paper's evaluation:
+//
+//	go test -bench=Fig1 -benchmem .     # Figure 1 (STM machine)
+//	go test -bench=Fig2 -benchmem .     # Figure 2 (simulated HTM machine)
+//	go test -bench=Fig3 .               # Figure 3 (geomean speedups)
+//	go test -bench=Ablation .           # design-choice ablations
+//	go run ./cmd/parsecbench            # the full sweep, formatted like the paper
+//	go run ./cmd/table1                 # Table 1
+package repro

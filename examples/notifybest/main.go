@@ -1,0 +1,68 @@
+// NotifyBest: the Section 3.4 extension that OS condition variables cannot
+// offer. Because the waiting set lives in user space, a notifier can
+// inspect WHAT each thread is waiting for and wake exactly the right one —
+// eliminating the oblivious broadcast-everyone-and-recheck pattern.
+//
+// Here, worker goroutines wait for jobs of specific sizes; the allocator
+// wakes the waiter whose requested size best fits the released capacity.
+//
+//	go run ./examples/notifybest
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stm"
+	"repro/internal/syncx"
+)
+
+type request struct {
+	id   int
+	size int
+}
+
+func main() {
+	e := stm.NewEngine(stm.Config{})
+	cv := core.New(e, core.Options{})
+	var m syncx.Mutex
+
+	sizes := []int{100, 30, 70, 10, 50}
+	var wg sync.WaitGroup
+	order := make(chan int, len(sizes))
+	for i, sz := range sizes {
+		i, sz := i, sz
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Lock()
+			s := syncx.NewLockSync(&m)
+			// The tag describes the predicate this thread waits on.
+			cv.WaitTagged(s, request{id: i, size: sz}, nil)
+			order <- i
+			fmt.Printf("worker %d (size %d) granted\n", i, sz)
+		}()
+		for cv.Len() != i+1 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Release capacity in chunks; each NotifyBest wakes the LARGEST
+	// request that fits — a policy no kernel wait queue can express.
+	for _, capacity := range []int{60, 35, 80, 1000, 1000} {
+		capacity := capacity
+		woke := cv.NotifyBest(nil, func(tag any) int64 {
+			r, ok := tag.(request)
+			if !ok || r.size > capacity {
+				return -1 // does not fit: skip
+			}
+			return int64(r.size) // best fit = largest that fits
+		})
+		fmt.Printf("released %4d -> woke someone: %v\n", capacity, woke)
+		<-order
+	}
+	wg.Wait()
+	fmt.Println("all workers granted; no oblivious wake-ups were needed")
+}

@@ -1,0 +1,210 @@
+package birrellcv
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/syncx"
+)
+
+func TestSignalWakesOne(t *testing.T) {
+	c := New()
+	var m syncx.Mutex
+	woke := make(chan struct{})
+	go func() {
+		m.Lock()
+		c.Wait(&m)
+		m.Unlock()
+		close(woke)
+	}()
+	for c.Waiters() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	c.Signal()
+	select {
+	case <-woke:
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter never woke")
+	}
+}
+
+func TestSignalOnEmptyIsLost(t *testing.T) {
+	c := New()
+	c.Signal() // must not bank a permit (condvar, not semaphore, semantics)
+	var m syncx.Mutex
+	woke := make(chan struct{})
+	go func() {
+		m.Lock()
+		c.Wait(&m)
+		m.Unlock()
+		close(woke)
+	}()
+	select {
+	case <-woke:
+		t.Fatal("Wait consumed a pre-wait Signal")
+	case <-time.After(30 * time.Millisecond):
+	}
+	c.Signal()
+	<-woke
+}
+
+func TestBroadcastWakesAllAndOnlyAll(t *testing.T) {
+	c := New()
+	var m syncx.Mutex
+	const n = 6
+	var woke atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Lock()
+			c.Wait(&m)
+			m.Unlock()
+			woke.Add(1)
+		}()
+	}
+	for c.Waiters() != n {
+		time.Sleep(time.Millisecond)
+	}
+	c.Broadcast()
+	wg.Wait()
+	if woke.Load() != n {
+		t.Fatalf("woke = %d, want %d", woke.Load(), n)
+	}
+	// The Birrell corner case: a NEW waiter must not have been able to
+	// steal one of the broadcast's permits — it must still block.
+	late := make(chan struct{})
+	go func() {
+		m.Lock()
+		c.Wait(&m)
+		m.Unlock()
+		close(late)
+	}()
+	select {
+	case <-late:
+		t.Fatal("late waiter stole a broadcast permit")
+	case <-time.After(30 * time.Millisecond):
+	}
+	c.Signal()
+	<-late
+}
+
+func TestBroadcastEmpty(t *testing.T) {
+	c := New()
+	c.Broadcast() // must not block or bank permits
+	if c.Waiters() != 0 {
+		t.Fatal("phantom waiters")
+	}
+}
+
+func TestProducerConsumer(t *testing.T) {
+	c := New()
+	full := New()
+	var m syncx.Mutex
+	buf := 0
+	hasItem := false
+	const items = 500
+	var sum int64
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= items; i++ {
+			m.Lock()
+			for hasItem {
+				full.Wait(&m)
+			}
+			buf, hasItem = i, true
+			c.Signal()
+			m.Unlock()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < items; i++ {
+			m.Lock()
+			for !hasItem {
+				c.Wait(&m)
+			}
+			sum += int64(buf)
+			hasItem = false
+			full.Signal()
+			m.Unlock()
+		}
+	}()
+	wg.Wait()
+	if want := int64(items) * (items + 1) / 2; sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestInterleavedSignalAndBroadcast(t *testing.T) {
+	c := New()
+	var m syncx.Mutex
+	const rounds = 50
+	for r := 0; r < rounds; r++ {
+		const n = 5
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				m.Lock()
+				c.Wait(&m)
+				m.Unlock()
+			}()
+		}
+		for c.Waiters() != n {
+			time.Sleep(100 * time.Microsecond)
+		}
+		c.Signal()    // wakes one
+		c.Broadcast() // must wake the remaining n-1 and hand-shake cleanly
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("round %d: wake-ups lost (waiters=%d)", r, c.Waiters())
+		}
+	}
+}
+
+func TestNoSpuriousWakeups(t *testing.T) {
+	c := New()
+	var m syncx.Mutex
+	var woke atomic.Int64
+	const n, k = 8, 3
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Lock()
+			c.Wait(&m)
+			m.Unlock()
+			woke.Add(1)
+		}()
+	}
+	for c.Waiters() != n {
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < k; i++ {
+		c.Signal()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for woke.Load() < k {
+		if time.Now().After(deadline) {
+			t.Fatal("signals lost")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := woke.Load(); got != k {
+		t.Fatalf("woke = %d, want exactly %d", got, k)
+	}
+	c.Broadcast()
+	wg.Wait()
+}

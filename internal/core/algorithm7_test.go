@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/stm"
+	"repro/internal/syncx"
+)
+
+// TestAlgorithm7Example reproduces the paper's Algorithm 7 end to end: a
+// function-local `outer`, a transaction-local `inner`, a mid-transaction
+// call that may WAIT, and an abort after the wait — checking that the
+// checkpointing machinery (stm.Saved here; ad-hoc undo-log checkpoints in
+// the paper's C++ runtime) restores the locals for the continuation's
+// re-execution.
+//
+//	procedure EXAMPLE(param)
+//	 1  stackvar outer ← F1(param)
+//	 2  BEGIN TRANSACTION
+//	 3    txnvar inner ← F1(outer)
+//	 4    outer ← F1(outer)
+//	 5    inner ← F2(outer, inner)
+//	 6    MAYINVOKEWAIT(outer, inner)
+//	 7    outer ← F1(outer)
+//	 8    inner ← F1(inner)      // abort happens here
+//	 9    outer ← F2(outer, inner)
+//	10  END TRANSACTION
+//	11  F1(outer)
+func TestAlgorithm7Example(t *testing.T) {
+	f1 := func(x int) int { return x*3 + 1 }
+	f2 := func(a, b int) int { return a + b }
+
+	e := stm.NewEngine(stm.Config{})
+	cv := New(e, Options{})
+	shared := stm.NewVar(e, 0)
+
+	const param = 2
+	outer := f1(param) // line 1
+
+	result := make(chan int, 1)
+	go func() {
+		attempts := 0
+		e.MustAtomic(func(tx *stm.Tx) { // line 2
+			attempts++
+			// The checkpoints the paper's §4.2 derives: outer is
+			// neither shared nor transaction-local; inner is
+			// transaction-local but lives across the punctuation point
+			// in the closure's frame. Both must be restored on abort.
+			stm.Saved(tx, &outer)
+			inner := f1(outer)       // line 3
+			outer = f1(outer)        // line 4
+			inner = f2(outer, inner) // line 5
+
+			// MAYINVOKEWAIT: waits iff the shared flag is not yet set —
+			// on attempt 1 it waits; the continuation then re-enters
+			// here via retry after the forced abort below.
+			if stm.Read(tx, shared) == 0 {
+				s := syncx.NewTxnSync(tx)
+				cv.Wait(s, func(cont syncx.Sync) { // lines 11–13 of WAIT
+					ctx := cont.Tx()
+					// Continuation body = lines 7–9 of EXAMPLE, with a
+					// forced abort on its first execution (line 8).
+					stm.Saved(ctx, &outer)
+					stm.Saved(ctx, &inner)
+					outer = f1(outer) // line 7
+					inner = f1(inner) // line 8: abort on first run
+					if ctx.Attempt() == 0 {
+						ctx.Restart()
+					}
+					outer = f2(outer, inner) // line 9
+				})
+				result <- outer // line 11 (post-continuation value)
+				return
+			}
+			t.Error("flag already set before the wait — test sequencing broken")
+		})
+		_ = attempts
+	}()
+
+	// Let the waiter park, then satisfy its condition and notify.
+	deadline := time.Now().Add(10 * time.Second)
+	for cv.Len() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	e.MustAtomic(func(tx *stm.Tx) {
+		stm.Write(tx, shared, 1)
+		cv.NotifyOne(tx)
+	})
+
+	// Expected value: compute the straight-line execution with each line
+	// running EXACTLY once (the aborted first run of the continuation
+	// must leave no trace thanks to the checkpoints).
+	wantOuter := f1(param)               // line 1
+	wantInner := f1(wantOuter)           // line 3
+	wantOuter = f1(wantOuter)            // line 4
+	wantInner = f2(wantOuter, wantInner) // line 5
+	wantOuter = f1(wantOuter)            // line 7
+	wantInner = f1(wantInner)            // line 8
+	wantOuter = f2(wantOuter, wantInner) // line 9
+
+	select {
+	case got := <-result:
+		if got != wantOuter {
+			t.Fatalf("outer = %d, want %d (checkpoint restoration leaked an aborted run)", got, wantOuter)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("EXAMPLE never completed")
+	}
+}

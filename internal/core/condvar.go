@@ -1,0 +1,515 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/sem"
+	"repro/internal/stats"
+	"repro/internal/stm"
+	"repro/internal/syncx"
+)
+
+// Policy selects which waiting thread a NotifyOne wakes. The paper's
+// Section 3.4 ("Deterministic Wake-Up Semantics") points out that because
+// the waiting set lives in user space, arbitrary selection policies become
+// possible; FIFO is the default, LIFO is the stack discipline Scherer &
+// Scott argue can be cache-friendlier, and NotifyBest (a separate method)
+// picks by predicate.
+type Policy int
+
+const (
+	// FIFO wakes the longest-waiting thread (Hoare's queue discipline).
+	FIFO Policy = iota
+	// LIFO wakes the most recently arrived thread.
+	LIFO
+)
+
+// Options configures a CondVar.
+type Options struct {
+	// Policy selects the NotifyOne victim discipline. Default FIFO.
+	Policy Policy
+	// NoNodePool disables the per-wait node pool (every Wait allocates a
+	// fresh node + semaphore). For the ablation benchmark.
+	NoNodePool bool
+	// ImmediatePost makes notifiers signal the victim's semaphore
+	// immediately instead of deferring it to commit via an onCommit
+	// handler. This is UNSAFE in the paper's hardware-TM setting (the
+	// semaphore operation is a syscall that aborts the transaction) and
+	// allows wake-ups from transactions that later abort; it exists only
+	// so the ablation benchmark can measure what the deferral costs.
+	ImmediatePost bool
+}
+
+// CVStats aggregates condition-variable activity.
+type CVStats struct {
+	Waits       stats.Counter // completed WAIT operations
+	NotifyOnes  stats.Counter // NotifyOne calls that woke someone
+	NotifyAlls  stats.Counter // NotifyAll calls that woke >= 1 thread
+	NotifyEmpty stats.Counter // notifies that found an empty queue
+	Woken       stats.Counter // total threads woken
+	Timeouts    stats.Counter // timed waits that expired un-notified
+	MaxQueue    stats.Max     // deepest queue observed by a notifier
+}
+
+// Node is one entry of a CondVar's wait queue: the calling thread's
+// binary semaphore plus the transactional next link (Algorithm 3). Nodes
+// are owned by exactly one waiting goroutine from enqueue to wake-up;
+// after the wake-up the node is private again (the privatization argument
+// of Section 3.3) and returns to the pool.
+type Node struct {
+	sem  *sem.Sem
+	next *stm.Var[*Node]
+	tag  *stm.Var[any] // optional predicate descriptor for NotifyBest
+}
+
+// CondVar is the paper's transaction-friendly condition variable
+// (Algorithms 3–6): a queue of per-thread semaphores manipulated inside
+// small transactions, with SEMPOST deferred to transaction commit.
+//
+// All methods may be called from lock-based critical sections, from
+// transactions (pass the live *stm.Tx), or from unsynchronized code
+// ("naked" notifies): the internal transactions make the queue race-free
+// in every combination.
+type CondVar struct {
+	e    *stm.Engine
+	head *stm.Var[*Node]
+	tail *stm.Var[*Node]
+	opts Options
+	pool sync.Pool
+	st   *CVStats
+}
+
+// New creates a condition variable whose internal transactions run on e.
+func New(e *stm.Engine, opts Options) *CondVar {
+	cv := &CondVar{
+		e:    e,
+		head: stm.NewVar[*Node](e, nil),
+		tail: stm.NewVar[*Node](e, nil),
+		opts: opts,
+	}
+	cv.pool.New = func() any { return cv.newNode() }
+	return cv
+}
+
+// SetStats attaches a stats sink; call before concurrent use.
+func (cv *CondVar) SetStats(st *CVStats) { cv.st = st }
+
+// Engine returns the engine the condvar's internal transactions use.
+func (cv *CondVar) Engine() *stm.Engine { return cv.e }
+
+func (cv *CondVar) newNode() *Node {
+	return &Node{
+		sem:  sem.NewBinary(),
+		next: stm.NewVar[*Node](cv.e, nil),
+		tag:  stm.NewVar[any](cv.e, nil),
+	}
+}
+
+func (cv *CondVar) acquireNode() *Node {
+	if cv.opts.NoNodePool {
+		return cv.newNode()
+	}
+	return cv.pool.Get().(*Node)
+}
+
+func (cv *CondVar) releaseNode(n *Node) {
+	if cv.opts.NoNodePool {
+		return
+	}
+	n.tag.StoreDirect(nil)
+	cv.pool.Put(n)
+}
+
+// enqueue inserts n into the wait queue, flat-nesting into tx when the
+// caller is transactional, or running its own transaction otherwise
+// (Algorithm 4 lines 2–8).
+func (cv *CondVar) enqueue(tx *stm.Tx, n *Node) {
+	body := func(tx *stm.Tx) {
+		switch cv.opts.Policy {
+		case LIFO:
+			h := stm.Read(tx, cv.head)
+			stm.Write(tx, n.next, h)
+			stm.Write(tx, cv.head, n)
+			if h == nil {
+				stm.Write(tx, cv.tail, n)
+			}
+		default: // FIFO
+			t := stm.Read(tx, cv.tail)
+			if t == nil {
+				stm.Write(tx, cv.head, n)
+				stm.Write(tx, cv.tail, n)
+			} else {
+				stm.Write(tx, t.next, n)
+				stm.Write(tx, cv.tail, n)
+			}
+		}
+	}
+	if tx != nil {
+		tx.Atomic(body)
+	} else {
+		cv.e.MustAtomic(body)
+	}
+}
+
+// Wait is Algorithm 4: the continuation-passing WAIT.
+//
+// The caller must hold the synchronization context described by s (the
+// locks locked, or the transaction live). Wait enqueues the caller's
+// semaphore (inside s's transaction if there is one, else in its own),
+// completes the sync block (releases the locks / commits the transaction
+// early), sleeps on the semaphore, and — once notified — runs cont under a
+// re-established context of the same kind. A nil cont elides the
+// re-establishment entirely (the empty-continuation fast path of Sections
+// 4.1 and 4.3: no lock re-acquire, no new transaction).
+//
+// There are no spurious wake-ups: Wait returns only after a matching
+// NotifyOne/NotifyAll/NotifyBest posted this thread's semaphore.
+func (cv *CondVar) Wait(s syncx.Sync, cont func(syncx.Sync)) {
+	n := cv.acquireNode()
+	n.next.StoreDirect(nil) // line 1: the node is private here
+	cv.enqueue(s.Tx(), n)   // lines 2–8
+	s.End()                 // line 9: break atomicity
+	n.sem.Wait()            // line 10: sleep until notified
+	cv.releaseNode(n)
+	if cv.st != nil {
+		cv.st.Waits.Inc()
+	}
+	if cont != nil {
+		s.Exec(cont) // lines 11–13
+	}
+}
+
+// WaitTagged is Wait with a predicate descriptor the NotifyBest selector
+// can inspect (Section 3.4's "additional parameter provided to the WAIT
+// operation to describe the predicate upon which each thread is waiting").
+func (cv *CondVar) WaitTagged(s syncx.Sync, tag any, cont func(syncx.Sync)) {
+	n := cv.acquireNode()
+	n.next.StoreDirect(nil)
+	n.tag.StoreDirect(tag)
+	cv.enqueue(s.Tx(), n)
+	s.End()
+	n.sem.Wait()
+	cv.releaseNode(n)
+	if cv.st != nil {
+		cv.st.Waits.Inc()
+	}
+	if cont != nil {
+		s.Exec(cont)
+	}
+}
+
+// WaitLocked is the legacy (pthread-shaped) WAIT for lock-based callers:
+// indistinguishable from pthread_cond_wait except that it never wakes
+// spuriously. The caller holds m; on return the caller holds m again and
+// executes its own continuation in place (Section 4.1's "remove lines
+// 12–13" variant).
+func (cv *CondVar) WaitLocked(m *syncx.Mutex) {
+	n := cv.acquireNode()
+	n.next.StoreDirect(nil)
+	cv.enqueue(nil, n)
+	m.Unlock()
+	n.sem.Wait()
+	cv.releaseNode(n)
+	if cv.st != nil {
+		cv.st.Waits.Inc()
+	}
+	m.Lock()
+}
+
+// WaitLockedTimeout is WaitLocked with a deadline — the
+// pthread_cond_timedwait of this interface. It reports true if the wait
+// ended by notification and false on timeout. On either path the caller
+// holds m again when it returns.
+//
+// A timeout races with notification: if a notifier dequeued this waiter
+// before the waiter could unlink itself, the notification wins — the
+// (possibly commit-deferred) semaphore post is consumed and the wait
+// reports true. No wake-up is ever lost and no node leaks.
+func (cv *CondVar) WaitLockedTimeout(m *syncx.Mutex, d time.Duration) bool {
+	n := cv.acquireNode()
+	n.next.StoreDirect(nil)
+	cv.enqueue(nil, n)
+	m.Unlock()
+	if n.sem.WaitTimeout(d) {
+		cv.releaseNode(n)
+		if cv.st != nil {
+			cv.st.Waits.Inc()
+		}
+		m.Lock()
+		return true
+	}
+	// Timed out. Unlink transactionally; this serializes against any
+	// in-flight notifier: exactly one of us dequeues the node.
+	if cv.removeNode(n) {
+		cv.releaseNode(n)
+		if cv.st != nil {
+			cv.st.Timeouts.Inc()
+		}
+		m.Lock()
+		return false
+	}
+	// A notifier got the node first; its post is banked or imminent
+	// (imminent = after its outer transaction commits). Treat as
+	// notified.
+	n.sem.Wait()
+	cv.releaseNode(n)
+	if cv.st != nil {
+		cv.st.Waits.Inc()
+	}
+	m.Lock()
+	return true
+}
+
+// removeNode unlinks target from the wait queue, reporting whether it was
+// still enqueued.
+func (cv *CondVar) removeNode(target *Node) bool {
+	found := false
+	cv.e.MustAtomic(func(tx *stm.Tx) {
+		found = false
+		var prev *Node
+		for n := stm.Read(tx, cv.head); n != nil; n = stm.Read(tx, n.next) {
+			if n == target {
+				nx := stm.Read(tx, n.next)
+				if prev == nil {
+					stm.Write(tx, cv.head, nx)
+				} else {
+					stm.Write(tx, prev.next, nx)
+				}
+				if nx == nil {
+					stm.Write(tx, cv.tail, prev)
+				}
+				found = true
+				return
+			}
+			prev = n
+		}
+	})
+	return found
+}
+
+// WaitTx is the manually-refactored transactional WAIT the paper's
+// evaluation uses for TMParsec (Section 5.3 chose refactoring over CPS).
+// It enqueues inside tx, commits tx early, and sleeps. On return **no
+// transaction is active**; the caller re-enters atomicity itself, usually
+// by looping:
+//
+//	for {
+//	    done := false
+//	    e.Atomic(func(tx *stm.Tx) {
+//	        if predicate(tx) { consume(tx); done = true; return }
+//	        cv.WaitTx(tx)
+//	    })
+//	    if done { return }
+//	}
+//
+// The re-check loop handles oblivious wake-ups (several predicates on one
+// condvar), not spurious ones — there are none.
+func (cv *CondVar) WaitTx(tx *stm.Tx) {
+	n := cv.acquireNode()
+	n.next.StoreDirect(nil)
+	cv.enqueue(tx, n)
+	tx.CommitEarly()
+	n.sem.Wait()
+	cv.releaseNode(n)
+	if cv.st != nil {
+		cv.st.Waits.Inc()
+	}
+}
+
+// WaitAtCommit is the second empty-continuation alternative of Section
+// 4.3: "remove line 9 of WAIT, schedule line 10 via RegisterHandler, and
+// then return". It enqueues the caller inside tx and registers an
+// onCommit handler that performs the SEMWAIT; WAIT itself returns
+// immediately. Control flows back to the caller, which must reach its
+// ENDTRANSACTION with no further work; the commit publishes the enqueue
+// and then the handler parks the goroutine until a notify.
+//
+// Compared with WaitTx this avoids the early-commit machinery entirely —
+// the transaction commits at its natural lexical end — at the cost of
+// requiring the wait to be the caller's final action. Use it in the same
+// re-check loop as WaitTx:
+//
+//	for {
+//	    done := false
+//	    e.Atomic(func(tx *stm.Tx) {
+//	        if predicate(tx) { consume(tx); done = true; return }
+//	        cv.WaitAtCommit(tx) // sleeps after this txn commits
+//	    })
+//	    if done { return }
+//	}
+func (cv *CondVar) WaitAtCommit(tx *stm.Tx) {
+	n := cv.acquireNode()
+	n.next.StoreDirect(nil)
+	cv.enqueue(tx, n)
+	tx.OnCommit(func() {
+		n.sem.Wait()
+		cv.releaseNode(n)
+		if cv.st != nil {
+			cv.st.Waits.Inc()
+		}
+	})
+}
+
+// notifyPost arranges for node's semaphore to be posted: at commit of the
+// outermost transaction when one is live (Algorithm 5 line 9), or
+// immediately for naked/lock-based callers (tx == nil).
+func (cv *CondVar) notifyPost(tx *stm.Tx, n *Node) {
+	if tx == nil || cv.opts.ImmediatePost {
+		if tx != nil && cv.opts.ImmediatePost {
+			tx.Syscall() // a real HTM would abort here; make the sim do so
+		}
+		n.sem.Post()
+		return
+	}
+	tx.OnCommit(func() { n.sem.Post() })
+}
+
+// NotifyOne is Algorithm 5: dequeue one waiter (per the Policy) and
+// schedule its wake-up. Pass the live transaction when calling from one,
+// or nil from lock-based/unsynchronized code. It reports whether a waiter
+// was found.
+//
+// When called inside a transaction the wake-up happens only if and when
+// that transaction commits — a NotifyOne from an aborted transaction wakes
+// nobody.
+func (cv *CondVar) NotifyOne(tx *stm.Tx) bool {
+	found := false
+	body := func(tx *stm.Tx) {
+		found = false
+		sn := stm.Read(tx, cv.head)
+		if sn == nil {
+			return
+		}
+		nx := stm.Read(tx, sn.next)
+		if nx == nil {
+			stm.Write(tx, cv.head, nil)
+			stm.Write(tx, cv.tail, nil)
+		} else {
+			stm.Write(tx, cv.head, nx)
+		}
+		cv.notifyPost(tx, sn)
+		found = true
+	}
+	if tx != nil {
+		tx.Atomic(body)
+	} else {
+		cv.e.MustAtomic(body)
+	}
+	if cv.st != nil {
+		if found {
+			cv.st.NotifyOnes.Inc()
+			cv.st.Woken.Inc()
+		} else {
+			cv.st.NotifyEmpty.Inc()
+		}
+	}
+	return found
+}
+
+// NotifyAll is Algorithm 6: dequeue every waiter and schedule all their
+// wake-ups. It returns the number of waiters notified.
+func (cv *CondVar) NotifyAll(tx *stm.Tx) int {
+	count := 0
+	body := func(tx *stm.Tx) {
+		count = 0
+		sn := stm.Read(tx, cv.head)
+		if sn == nil {
+			return
+		}
+		stm.Write(tx, cv.head, nil)
+		stm.Write(tx, cv.tail, nil)
+		// Every next-link access happens inside the transaction
+		// (Section 3.3's race-freedom argument).
+		for sn != nil {
+			cv.notifyPost(tx, sn)
+			count++
+			sn = stm.Read(tx, sn.next)
+		}
+	}
+	if tx != nil {
+		tx.Atomic(body)
+	} else {
+		cv.e.MustAtomic(body)
+	}
+	if cv.st != nil {
+		if count > 0 {
+			cv.st.NotifyAlls.Inc()
+			cv.st.Woken.Add(int64(count))
+			cv.st.MaxQueue.Observe(int64(count))
+		} else {
+			cv.st.NotifyEmpty.Inc()
+		}
+	}
+	return count
+}
+
+// NotifyBest is the Section 3.4 extension: traverse the waiting set and
+// wake the single waiter whose tag the selector scores highest (ties go to
+// the earlier-enqueued waiter; waiters that score negative are skipped).
+// It reports whether a waiter was woken.
+//
+// Traditional OS condvars cannot offer this — their waiter set is opaque
+// kernel state, which is why the oblivious NotifyAll pattern exists.
+func (cv *CondVar) NotifyBest(tx *stm.Tx, score func(tag any) int64) bool {
+	found := false
+	body := func(tx *stm.Tx) {
+		found = false
+		var best, bestPrev *Node
+		bestScore := int64(-1)
+		var prev *Node
+		depth := 0
+		for n := stm.Read(tx, cv.head); n != nil; n = stm.Read(tx, n.next) {
+			depth++
+			if s := score(stm.Read(tx, n.tag)); s > bestScore {
+				best, bestPrev, bestScore = n, prev, s
+			}
+			prev = n
+		}
+		if cv.st != nil {
+			cv.st.MaxQueue.Observe(int64(depth))
+		}
+		if best == nil {
+			return
+		}
+		// Unlink best.
+		nx := stm.Read(tx, best.next)
+		if bestPrev == nil {
+			stm.Write(tx, cv.head, nx)
+		} else {
+			stm.Write(tx, bestPrev.next, nx)
+		}
+		if nx == nil {
+			stm.Write(tx, cv.tail, bestPrev)
+		}
+		cv.notifyPost(tx, best)
+		found = true
+	}
+	if tx != nil {
+		tx.Atomic(body)
+	} else {
+		cv.e.MustAtomic(body)
+	}
+	if cv.st != nil {
+		if found {
+			cv.st.NotifyOnes.Inc()
+			cv.st.Woken.Inc()
+		} else {
+			cv.st.NotifyEmpty.Inc()
+		}
+	}
+	return found
+}
+
+// Len returns the current number of enqueued waiters (its own
+// transaction; for diagnostics and tests).
+func (cv *CondVar) Len() int {
+	n := 0
+	cv.e.MustAtomic(func(tx *stm.Tx) {
+		n = 0
+		for c := stm.Read(tx, cv.head); c != nil; c = stm.Read(tx, c.next) {
+			n++
+		}
+	})
+	return n
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Generic is the paper's Algorithm 2: a condition variable over a shared
+// set Q and per-thread spin flags, with each numbered line executed as one
+// atomic step. It is the proof vehicle — linearizable by Theorem 3 — not
+// the production implementation (it busy-waits, failing the "Yielding"
+// requirement of Section 3.4, which is exactly why Algorithm 3 replaces
+// the flags with semaphores).
+//
+// The executable version here serializes each line with a mutex,
+// faithfully realizing the "each line is an atomic step" proof assumption.
+// The model checker in model.go explores the same step structure
+// exhaustively.
+type Generic struct {
+	mu   sync.Mutex
+	q    map[ThreadID]bool // insertion-ordered enough for tests via min-pick
+	spin map[ThreadID]bool
+}
+
+// NewGeneric returns an empty Algorithm 2 object.
+func NewGeneric() *Generic {
+	return &Generic{q: make(map[ThreadID]bool), spin: make(map[ThreadID]bool)}
+}
+
+// WaitStep1 performs lines 1–2: set spin_p, then insert p into Q. The two
+// lines are distinct atomic steps, as in the paper.
+func (g *Generic) WaitStep1(p ThreadID) {
+	g.mu.Lock() // line 1
+	g.spin[p] = true
+	g.mu.Unlock()
+
+	g.mu.Lock() // line 2 (linearization point of WaitStep1)
+	g.q[p] = true
+	g.mu.Unlock()
+}
+
+// WaitStep2 performs line 3: spin until ¬spin_p, then return false. The
+// return value is always false — Definition 1 property (2) — and the test
+// suite asserts it.
+func (g *Generic) WaitStep2(p ThreadID) bool {
+	for {
+		g.mu.Lock() // one loop iteration = one atomic step
+		s := g.spin[p]
+		g.mu.Unlock()
+		if !s {
+			return false
+		}
+		runtime.Gosched()
+	}
+}
+
+// NotifyOne performs lines 4–5: atomically remove some x from Q if one
+// exists, then (separate step) clear spin_x.
+func (g *Generic) NotifyOne() bool {
+	g.mu.Lock() // line 4 (linearization point)
+	x, e := minKey(g.q)
+	if e {
+		delete(g.q, x)
+	}
+	g.mu.Unlock()
+
+	if e {
+		g.mu.Lock() // line 5
+		g.spin[x] = false
+		g.mu.Unlock()
+	}
+	return e
+}
+
+// NotifyAll performs lines 6–7: atomically move Q to a private Q′, then
+// clear each moved thread's flag one step at a time.
+func (g *Generic) NotifyAll() int {
+	g.mu.Lock() // line 6 (linearization point)
+	qp := g.q
+	g.q = make(map[ThreadID]bool)
+	g.mu.Unlock()
+
+	n := 0
+	for x := range qp { // line 7, one iteration per step
+		g.mu.Lock()
+		g.spin[x] = false
+		g.mu.Unlock()
+		n++
+	}
+	return n
+}
+
+// Wait is the composed operation: Step1 then Step2.
+func (g *Generic) Wait(p ThreadID) {
+	g.WaitStep1(p)
+	if g.WaitStep2(p) {
+		panic("core: Generic WaitStep2 returned true — illegal history")
+	}
+}
+
+// Waiting reports |Q| (for tests).
+func (g *Generic) Waiting() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.q)
+}
+
+func minKey(m map[ThreadID]bool) (ThreadID, bool) {
+	found := false
+	var min ThreadID
+	for t := range m {
+		if !found || t < min {
+			min, found = t, true
+		}
+	}
+	return min, found
+}

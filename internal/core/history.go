@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// HistoryChecker records condition-variable events at runtime and checks
+// the legality conditions of Definition 1 plus the pairing properties the
+// implementation guarantees:
+//
+//  1. Every completed wait is matched to exactly one notify-permit (no
+//     spurious wake-ups: wakes never exceed notified waiters).
+//  2. At quiescence, wakes equal exactly the number of waiters the
+//     notifies removed (no lost wake-ups among notified waiters).
+//
+// It is driven by tests: wrap each operation with the corresponding
+// Record* call. The checker is deliberately coarse — it counts permits,
+// not identities — which is exactly what Mesa-style semantics promise.
+type HistoryChecker struct {
+	mu        sync.Mutex
+	waitStart int64 // WAITs that have enqueued
+	waitDone  int64 // WAITs that returned
+	notified  int64 // waiters removed by NotifyOne/NotifyAll/NotifyBest
+	events    []string
+	keepLog   bool
+}
+
+// NewHistoryChecker returns an empty checker. If keepLog is set, a
+// human-readable event log is retained for failure diagnostics.
+func NewHistoryChecker(keepLog bool) *HistoryChecker {
+	return &HistoryChecker{keepLog: keepLog}
+}
+
+// RecordWaitStart notes a waiter that has enqueued itself (completed
+// WAITSTEP1).
+func (h *HistoryChecker) RecordWaitStart(id int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.waitStart++
+	h.log("waitStart %d", id)
+}
+
+// RecordWaitDone notes a waiter that returned from WAIT. It fails fast if
+// the wake cannot be matched to a notify permit (a spurious wake-up).
+func (h *HistoryChecker) RecordWaitDone(id int) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.waitDone++
+	h.log("waitDone %d", id)
+	if h.waitDone > h.notified {
+		return fmt.Errorf("core: spurious wake-up — %d waits completed but only %d waiters were ever notified\n%s",
+			h.waitDone, h.notified, h.dump())
+	}
+	return nil
+}
+
+// RecordNotify notes a notify operation that removed n waiters from the
+// queue (0 for a notify that found it empty).
+func (h *HistoryChecker) RecordNotify(n int) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.notified += int64(n)
+	h.log("notify +%d", n)
+	if h.notified > h.waitStart {
+		return fmt.Errorf("core: notify removed %d waiters but only %d ever enqueued\n%s",
+			h.notified, h.waitStart, h.dump())
+	}
+	return nil
+}
+
+// CheckQuiescent verifies the terminal balance: with no operation in
+// flight, every notified waiter must have woken (no lost wake-ups) and no
+// extra wake may exist.
+func (h *HistoryChecker) CheckQuiescent() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.waitDone != h.notified {
+		return fmt.Errorf("core: at quiescence %d waiters notified but %d woke\n%s",
+			h.notified, h.waitDone, h.dump())
+	}
+	return nil
+}
+
+// Counts returns (started, completed, notified) for diagnostics.
+func (h *HistoryChecker) Counts() (started, completed, notified int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.waitStart, h.waitDone, h.notified
+}
+
+func (h *HistoryChecker) log(format string, args ...any) {
+	if h.keepLog {
+		h.events = append(h.events, fmt.Sprintf(format, args...))
+	}
+}
+
+func (h *HistoryChecker) dump() string {
+	if !h.keepLog {
+		return "(event log disabled)"
+	}
+	out := ""
+	start := 0
+	if len(h.events) > 200 {
+		start = len(h.events) - 200
+		out = fmt.Sprintf("... (%d earlier events)\n", start)
+	}
+	for _, e := range h.events[start:] {
+		out += e + "\n"
+	}
+	return out
+}

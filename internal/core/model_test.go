@@ -1,0 +1,53 @@
+package core
+
+import "testing"
+
+// TestModelMixes exhaustively model-checks Algorithm 2 for a spectrum of
+// thread mixes. Each run verifies the Lemma 2 invariants in every
+// reachable state, Definition 1's return-value property at every
+// WaitStep2, and the absence of lost wake-ups in terminal states.
+func TestModelMixes(t *testing.T) {
+	mixes := []struct {
+		name  string
+		roles []Role
+	}{
+		{"1w_1n1", []Role{RoleWaiter, RoleNotifyOne}},
+		{"2w_1n1", []Role{RoleWaiter, RoleWaiter, RoleNotifyOne}},
+		{"1w_1nall", []Role{RoleWaiter, RoleNotifyAll}},
+		{"2w_1nall", []Role{RoleWaiter, RoleWaiter, RoleNotifyAll}},
+		{"2w_2n1", []Role{RoleWaiter, RoleWaiter, RoleNotifyOne, RoleNotifyOne}},
+		{"2w_1n1_1nall", []Role{RoleWaiter, RoleWaiter, RoleNotifyOne, RoleNotifyAll}},
+		{"3w_1n1_1nall", []Role{RoleWaiter, RoleWaiter, RoleWaiter, RoleNotifyOne, RoleNotifyAll}},
+		{"3w_2n1", []Role{RoleWaiter, RoleWaiter, RoleWaiter, RoleNotifyOne, RoleNotifyOne}},
+		{"2w_2nall", []Role{RoleWaiter, RoleWaiter, RoleNotifyAll, RoleNotifyAll}},
+		{"only_waiters", []Role{RoleWaiter, RoleWaiter}},
+		{"only_notifiers", []Role{RoleNotifyOne, RoleNotifyAll}},
+	}
+	for _, m := range mixes {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			res, err := CheckModel(m.roles)
+			if err != nil {
+				t.Fatalf("model violation: %v (after %d states)", err, res.States)
+			}
+			if res.States == 0 {
+				t.Fatal("explored no states")
+			}
+			t.Logf("states=%d transitions=%d terminals=%d", res.States, res.Transitions, res.Terminals)
+		})
+	}
+}
+
+func TestModelRejectsTooManyThreads(t *testing.T) {
+	roles := make([]Role, modelMaxThreads+1)
+	if _, err := CheckModel(roles); err == nil {
+		t.Fatal("expected error for oversized thread mix")
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if RoleWaiter.String() != "waiter" || RoleNotifyOne.String() != "notifyOne" ||
+		RoleNotifyAll.String() != "notifyAll" || Role(99).String() != "?" {
+		t.Fatal("Role.String mismatch")
+	}
+}

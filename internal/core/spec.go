@@ -1,0 +1,91 @@
+// Package core implements the paper's contribution: condition variables
+// that are usable from lock-based critical sections, transactions, and
+// unsynchronized code alike ("Transaction-Friendly Condition Variables",
+// Wang, Liu & Spear, SPAA 2014).
+//
+// The package is layered exactly like the paper:
+//
+//   - Spec (this file) is the sequential specification of the low-level
+//     CondVar object — Algorithm 1: an abstract set Q of waiting threads
+//     with WaitStep1 / WaitStep2 / NotifyOne / NotifyAll.
+//   - Generic (generic.go) is Algorithm 2: the spin-flag implementation
+//     whose linearizability the paper proves (Theorem 3). An exhaustive
+//     small-scope model checker (model.go) machine-checks the paper's
+//     Lemma 2 invariants and Definition 1 legality over every
+//     interleaving of small thread mixes.
+//   - CondVar (condvar.go) is the practical implementation —
+//     Algorithms 3–6: a transactional queue of per-thread semaphores with
+//     commit-deferred SEMPOST.
+package core
+
+import "sync"
+
+// ThreadID identifies a thread (goroutine) in the specification objects.
+type ThreadID int
+
+// Spec is the CondVar specification object of Algorithm 1: a set of
+// waiting threads with the four operations, each executed atomically. It
+// is an executable oracle used by tests; production code uses CondVar.
+type Spec struct {
+	mu sync.Mutex
+	q  map[ThreadID]bool
+}
+
+// NewSpec returns an empty specification object.
+func NewSpec() *Spec { return &Spec{q: make(map[ThreadID]bool)} }
+
+// WaitStep1 adds p to the waiting set (Q ← Q ∪ {p}).
+func (s *Spec) WaitStep1(p ThreadID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.q[p] = true
+}
+
+// WaitStep2 reports whether p is still in the waiting set (p ∈ Q). In a
+// legal history (Definition 1), every WaitStep2 a thread actually
+// completes returns false: the thread suspends until some notify removed
+// it.
+func (s *Spec) WaitStep2(p ThreadID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.q[p]
+}
+
+// NotifyOne removes an arbitrary thread from the set, if any (the
+// specification allows any x ∈ Q; this implementation picks the smallest
+// id to be deterministic for tests). It reports the removed thread and
+// whether one existed.
+func (s *Spec) NotifyOne() (ThreadID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	found := false
+	var min ThreadID
+	for t := range s.q {
+		if !found || t < min {
+			min, found = t, true
+		}
+	}
+	if found {
+		delete(s.q, min)
+	}
+	return min, found
+}
+
+// NotifyAll empties the set (Q ← ∅), returning the removed threads.
+func (s *Spec) NotifyAll() []ThreadID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ThreadID, 0, len(s.q))
+	for t := range s.q {
+		out = append(out, t)
+	}
+	s.q = make(map[ThreadID]bool)
+	return out
+}
+
+// Waiting reports |Q|.
+func (s *Spec) Waiting() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.q)
+}

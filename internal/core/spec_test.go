@@ -1,0 +1,116 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestSpecWaitStep1Then2(t *testing.T) {
+	s := NewSpec()
+	s.WaitStep1(1)
+	if !s.WaitStep2(1) {
+		t.Fatal("WaitStep2 false immediately after WaitStep1")
+	}
+	if s.Waiting() != 1 {
+		t.Fatalf("Waiting = %d", s.Waiting())
+	}
+}
+
+func TestSpecNotifyOneRemovesExactlyOne(t *testing.T) {
+	s := NewSpec()
+	s.WaitStep1(3)
+	s.WaitStep1(1)
+	s.WaitStep1(2)
+	id, ok := s.NotifyOne()
+	if !ok || id != 1 {
+		t.Fatalf("NotifyOne = (%d, %v), want (1, true)", id, ok)
+	}
+	if s.Waiting() != 2 {
+		t.Fatalf("Waiting = %d, want 2", s.Waiting())
+	}
+	if s.WaitStep2(1) {
+		t.Fatal("thread 1 still in Q after NotifyOne")
+	}
+}
+
+func TestSpecNotifyOneEmpty(t *testing.T) {
+	s := NewSpec()
+	if _, ok := s.NotifyOne(); ok {
+		t.Fatal("NotifyOne on empty set reported success")
+	}
+}
+
+func TestSpecNotifyAll(t *testing.T) {
+	s := NewSpec()
+	for i := 1; i <= 4; i++ {
+		s.WaitStep1(ThreadID(i))
+	}
+	removed := s.NotifyAll()
+	if len(removed) != 4 {
+		t.Fatalf("NotifyAll removed %d, want 4", len(removed))
+	}
+	if s.Waiting() != 0 {
+		t.Fatalf("Waiting = %d, want 0", s.Waiting())
+	}
+	if len(s.NotifyAll()) != 0 {
+		t.Fatal("NotifyAll on empty set removed threads")
+	}
+}
+
+func TestGenericWaitNotifyPairs(t *testing.T) {
+	g := NewGeneric()
+	const waiters = 6
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Wait(ThreadID(i)) // panics if WaitStep2 returns true
+		}()
+	}
+	// Notify until everyone is through.
+	woken := 0
+	for woken < waiters {
+		if g.NotifyOne() {
+			woken++
+		}
+	}
+	wg.Wait()
+	if g.Waiting() != 0 {
+		t.Fatalf("Waiting = %d after full drain", g.Waiting())
+	}
+}
+
+func TestGenericNotifyAllDrains(t *testing.T) {
+	g := NewGeneric()
+	const waiters = 5
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Wait(ThreadID(i))
+		}()
+	}
+	// Wait until all are registered, then broadcast.
+	for g.Waiting() != waiters {
+		runtime.Gosched()
+	}
+	if n := g.NotifyAll(); n != waiters {
+		t.Fatalf("NotifyAll woke %d, want %d", n, waiters)
+	}
+	wg.Wait()
+}
+
+func TestGenericNotifyOneEmptyIsNoop(t *testing.T) {
+	g := NewGeneric()
+	if g.NotifyOne() {
+		t.Fatal("NotifyOne on empty queue reported success")
+	}
+	if g.NotifyAll() != 0 {
+		t.Fatal("NotifyAll on empty queue woke threads")
+	}
+}

@@ -1,0 +1,116 @@
+package facility
+
+import (
+	"repro/internal/core"
+	"repro/internal/stm"
+	"repro/internal/syncx"
+)
+
+// Barrier synchronizes a fixed party of goroutines: Arrive blocks until
+// all parties have arrived, then releases them together. PARSEC's
+// fluidanimate, streamcluster and bodytrack implement exactly this on
+// condition variables (in place of pthread_barrier), which is why the
+// paper measures the condvar-based barrier despite it being "not
+// necessary".
+//
+// The barrier is reusable (generation-counted, the sense-reversing
+// idiom).
+type Barrier interface {
+	Arrive()
+}
+
+// NewBarrier builds a barrier for `parties` goroutines.
+func NewBarrier(tk *Toolkit, parties int) Barrier {
+	if parties <= 0 {
+		panic("facility: barrier parties must be positive")
+	}
+	if tk.Transactional() {
+		return newTxnBarrier(tk, parties)
+	}
+	return newLockBarrier(tk, parties)
+}
+
+// lockBarrier is the PARSEC shape: mutex + condvar + generation counter.
+type lockBarrier struct {
+	mu      syncx.Mutex
+	cond    Cond
+	parties int
+	count   int
+	gen     int
+}
+
+func newLockBarrier(tk *Toolkit, parties int) *lockBarrier {
+	return &lockBarrier{cond: tk.NewCond(), parties: parties}
+}
+
+func (b *lockBarrier) Arrive() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.parties {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for b.gen == gen {
+		b.cond.Wait(&b.mu)
+	}
+	b.mu.Unlock()
+}
+
+// txnBarrier is the transactionalized barrier. The wait site is one of the
+// "refactored barrier continuations" Table 1 counts in parentheses: the
+// arrival transaction commits early inside WaitTx, and the re-check loop
+// watches the generation counter.
+type txnBarrier struct {
+	e       *stm.Engine
+	parties int
+	count   *stm.Var[int]
+	gen     *stm.Var[int]
+	cv      *core.CondVar
+}
+
+func newTxnBarrier(tk *Toolkit, parties int) *txnBarrier {
+	return &txnBarrier{
+		e:       tk.Engine,
+		parties: parties,
+		count:   stm.NewVar(tk.Engine, 0),
+		gen:     stm.NewVar(tk.Engine, 0),
+		cv:      tk.NewCondVar(),
+	}
+}
+
+func (b *txnBarrier) Arrive() {
+	released := false
+	myGen := 0
+	b.e.MustAtomic(func(tx *stm.Tx) {
+		released = false
+		myGen = stm.Read(tx, b.gen)
+		c := stm.Read(tx, b.count) + 1
+		if c == b.parties {
+			stm.Write(tx, b.count, 0)
+			stm.Write(tx, b.gen, myGen+1)
+			b.cv.NotifyAll(tx)
+			released = true
+			return
+		}
+		stm.Write(tx, b.count, c)
+	})
+	if released {
+		return
+	}
+	for {
+		done := false
+		b.e.MustAtomic(func(tx *stm.Tx) {
+			done = stm.Read(tx, b.gen) != myGen
+			if !done {
+				b.cv.WaitTx(tx)
+			}
+		})
+		if done {
+			return
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package facility provides the condition-synchronization building blocks
+// the PARSEC benchmarks are made of — bounded queues, barriers, dynamic
+// task queues, persistent thread pools, reorder buffers, frame-progress
+// synchronization and pipelines — in the three flavours the paper's
+// evaluation compares:
+//
+//   - Kind LockPthread: mutex-protected data, baseline OS-style condvars
+//     (internal/pthreadcv). The paper's Parsec+pthreadCondVar.
+//   - Kind LockTM: the same mutex-protected data and the same call sites,
+//     but the condvar underneath is the transaction-friendly one
+//     (internal/core, used through its pthread-compatible LockCond face).
+//     The paper's Parsec+TMCondVar.
+//   - Kind Txn: locks replaced by transactions, waits manually refactored
+//     into WaitTx re-check loops (the paper's Section 5.3 methodology).
+//     The paper's TMParsec+TMCondVar.
+//
+// A Toolkit captures the flavour plus the TM engine and hands out
+// facility instances; workloads are written once against the interfaces
+// and run under all three systems.
+package facility
+
+import (
+	"repro/internal/core"
+	"repro/internal/pthreadcv"
+	"repro/internal/stm"
+	"repro/internal/syncx"
+)
+
+// Cond is the pthread-shaped condition-variable interface implemented both
+// by the baseline (pthreadcv.Cond) and by the transaction-friendly condvar
+// (core.LockCond).
+type Cond interface {
+	Wait(m *syncx.Mutex)
+	Signal()
+	Broadcast()
+}
+
+// Static interface-satisfaction checks.
+var (
+	_ Cond = (*pthreadcv.Cond)(nil)
+	_ Cond = (*core.LockCond)(nil)
+)
+
+// Kind selects the synchronization system a Toolkit builds.
+type Kind int
+
+const (
+	// LockPthread is locks + baseline OS-style condition variables.
+	LockPthread Kind = iota
+	// LockTM is locks + transaction-friendly condition variables.
+	LockTM
+	// Txn is transactions + transaction-friendly condition variables.
+	Txn
+)
+
+func (k Kind) String() string {
+	switch k {
+	case LockPthread:
+		return "Parsec+pthreadCondVar"
+	case LockTM:
+		return "Parsec+TMCondVar"
+	case Txn:
+		return "TMParsec+TMCondVar"
+	default:
+		return "unknown"
+	}
+}
+
+// Short returns a compact label for tables.
+func (k Kind) Short() string {
+	switch k {
+	case LockPthread:
+		return "pthreadCV"
+	case LockTM:
+		return "TMCV"
+	case Txn:
+		return "TMParsec"
+	default:
+		return "?"
+	}
+}
+
+// Kinds lists all three systems in the paper's presentation order.
+var Kinds = []Kind{LockPthread, LockTM, Txn}
+
+// Toolkit builds facilities of one Kind. Engine is required for LockTM
+// and Txn (the TM condvar's internal transactions run on it); Spurious
+// optionally injects spurious wake-ups into LockPthread condvars.
+type Toolkit struct {
+	Kind     Kind
+	Engine   *stm.Engine
+	Spurious *pthreadcv.SpuriousInjector
+	CVOpts   core.Options // options for TM condvars (policy, ablations)
+}
+
+// NewCond returns a condition variable of the toolkit's flavour for
+// lock-based use. Valid for LockPthread and LockTM; Txn facilities use
+// core.CondVar directly.
+func (tk *Toolkit) NewCond() Cond {
+	switch tk.Kind {
+	case LockPthread:
+		return pthreadcv.New(tk.Spurious)
+	case LockTM:
+		return core.NewLockCond(core.New(tk.Engine, tk.CVOpts))
+	default:
+		panic("facility: NewCond on a Txn toolkit; use NewCondVar")
+	}
+}
+
+// NewCondVar returns a raw transaction-friendly condvar (LockTM and Txn).
+func (tk *Toolkit) NewCondVar() *core.CondVar {
+	if tk.Engine == nil {
+		panic("facility: NewCondVar requires an engine")
+	}
+	return core.New(tk.Engine, tk.CVOpts)
+}
+
+// Transactional reports whether shared data is protected by transactions
+// (Kind Txn) rather than locks.
+func (tk *Toolkit) Transactional() bool { return tk.Kind == Txn }

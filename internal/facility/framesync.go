@@ -1,0 +1,109 @@
+package facility
+
+import (
+	"repro/internal/core"
+	"repro/internal/stm"
+	"repro/internal/syncx"
+)
+
+// FrameSync is x264's inter-frame dependency synchronization: the encoder
+// of frame f publishes its row-completion progress, and the encoder of a
+// later frame blocks until its reference frame has progressed past the
+// rows its motion search needs (x264's frame_cond_wait /
+// x264_frame_cond_broadcast pair).
+type FrameSync interface {
+	// Publish records that frame's progress reached row (monotonic).
+	Publish(frame, row int)
+	// WaitFor blocks until frame's progress is at least row.
+	WaitFor(frame, row int)
+	// Progress returns the current row for frame (for tests).
+	Progress(frame int) int
+}
+
+// NewFrameSync builds a progress tracker for the given number of frames.
+func NewFrameSync(tk *Toolkit, frames int) FrameSync {
+	if frames <= 0 {
+		panic("facility: frame count must be positive")
+	}
+	if tk.Transactional() {
+		return newTxnFrameSync(tk, frames)
+	}
+	return newLockFrameSync(tk, frames)
+}
+
+type lockFrameSync struct {
+	mu       syncx.Mutex
+	progress []int
+	cond     Cond // one coarse condvar, broadcast per publish, as in x264
+}
+
+func newLockFrameSync(tk *Toolkit, frames int) *lockFrameSync {
+	return &lockFrameSync{progress: make([]int, frames), cond: tk.NewCond()}
+}
+
+func (fs *lockFrameSync) Publish(frame, row int) {
+	fs.mu.Lock()
+	if row > fs.progress[frame] {
+		fs.progress[frame] = row
+		fs.cond.Broadcast()
+	}
+	fs.mu.Unlock()
+}
+
+func (fs *lockFrameSync) WaitFor(frame, row int) {
+	fs.mu.Lock()
+	for fs.progress[frame] < row {
+		fs.cond.Wait(&fs.mu)
+	}
+	fs.mu.Unlock()
+}
+
+func (fs *lockFrameSync) Progress(frame int) int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.progress[frame]
+}
+
+type txnFrameSync struct {
+	e        *stm.Engine
+	progress []*stm.Var[int]
+	cv       *core.CondVar
+}
+
+func newTxnFrameSync(tk *Toolkit, frames int) *txnFrameSync {
+	fs := &txnFrameSync{e: tk.Engine, progress: make([]*stm.Var[int], frames), cv: tk.NewCondVar()}
+	for i := range fs.progress {
+		fs.progress[i] = stm.NewVar(tk.Engine, 0)
+	}
+	return fs
+}
+
+func (fs *txnFrameSync) Publish(frame, row int) {
+	fs.e.MustAtomic(func(tx *stm.Tx) {
+		if row > stm.Read(tx, fs.progress[frame]) {
+			stm.Write(tx, fs.progress[frame], row)
+			fs.cv.NotifyAll(tx)
+		}
+	})
+}
+
+func (fs *txnFrameSync) WaitFor(frame, row int) {
+	for {
+		done := false
+		fs.e.MustAtomic(func(tx *stm.Tx) {
+			done = stm.Read(tx, fs.progress[frame]) >= row
+			if !done {
+				fs.cv.WaitTx(tx)
+			}
+		})
+		if done {
+			return
+		}
+	}
+}
+
+func (fs *txnFrameSync) Progress(frame int) int {
+	n := 0
+	fs.e.MustAtomic(func(tx *stm.Tx) { n = stm.Read(tx, fs.progress[frame]) })
+	return n
+}

@@ -1,0 +1,198 @@
+package facility
+
+import (
+	"repro/internal/core"
+	"repro/internal/stm"
+	"repro/internal/syncx"
+)
+
+// Ordered is dedup's reorder stage: workers complete items tagged with
+// sequence numbers in arbitrary order; the single output thread consumes
+// them strictly in sequence, blocking on the gap (the condvar coordination
+// between worker threads and the serial output thread that the paper's
+// Section 5.2 describes for dedup).
+//
+// Put never blocks: like PARSEC dedup's writer (which parks out-of-order
+// items in a search tree), the buffer grows as needed — bounding it would
+// deadlock against upstream backpressure, because the missing sequence
+// number can be starved arbitrarily long behind the stage queues. Flow
+// control is the pipeline queues' job.
+type Ordered[T any] interface {
+	// Put delivers the item with the given sequence number (0-based,
+	// each exactly once).
+	Put(seq int, x T)
+	// Next returns item seq = 0, 1, 2, ... in order, blocking until the
+	// next one arrives; ok=false after Close once all delivered items
+	// are consumed. Only one consumer may call Next.
+	Next() (T, bool)
+	// Close marks the end of input (no Put may follow).
+	Close()
+	// Pending reports how many out-of-order items are parked (for tests
+	// and stats).
+	Pending() int
+}
+
+// NewOrdered builds a reorder buffer. sizeHint pre-sizes the internal
+// structures (it is not a bound).
+func NewOrdered[T any](tk *Toolkit, sizeHint int) Ordered[T] {
+	if sizeHint <= 0 {
+		sizeHint = 16
+	}
+	if tk.Transactional() {
+		return newTxnOrdered[T](tk, sizeHint)
+	}
+	return newLockOrdered[T](tk, sizeHint)
+}
+
+type lockOrdered[T any] struct {
+	mu      syncx.Mutex
+	arrived Cond // output thread waits here for the gap to fill
+	pending map[int]T
+	nextOut int
+	closed  bool
+}
+
+func newLockOrdered[T any](tk *Toolkit, sizeHint int) *lockOrdered[T] {
+	return &lockOrdered[T]{arrived: tk.NewCond(), pending: make(map[int]T, sizeHint)}
+}
+
+func (o *lockOrdered[T]) Put(seq int, x T) {
+	o.mu.Lock()
+	o.pending[seq] = x
+	if seq == o.nextOut {
+		o.arrived.Signal()
+	}
+	o.mu.Unlock()
+}
+
+func (o *lockOrdered[T]) Next() (T, bool) {
+	o.mu.Lock()
+	for {
+		if x, ok := o.pending[o.nextOut]; ok {
+			delete(o.pending, o.nextOut)
+			o.nextOut++
+			o.mu.Unlock()
+			return x, true
+		}
+		if o.closed {
+			var zero T
+			o.mu.Unlock()
+			return zero, false
+		}
+		o.arrived.Wait(&o.mu)
+	}
+}
+
+func (o *lockOrdered[T]) Close() {
+	o.mu.Lock()
+	o.closed = true
+	o.arrived.Broadcast()
+	o.mu.Unlock()
+}
+
+func (o *lockOrdered[T]) Pending() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.pending)
+}
+
+// txnOrdered stores parked items in hash buckets of transactional vars
+// (copy-on-write per bucket), so transactions stay small regardless of how
+// many items are parked.
+type seqItem[T any] struct {
+	seq int
+	val T
+}
+
+const orderedBuckets = 64
+
+type txnOrdered[T any] struct {
+	e       *stm.Engine
+	buckets []*stm.Var[[]seqItem[T]]
+	nextOut *stm.Var[int]
+	closed  *stm.Var[bool]
+	arrived *core.CondVar
+}
+
+func newTxnOrdered[T any](tk *Toolkit, sizeHint int) *txnOrdered[T] {
+	e := tk.Engine
+	o := &txnOrdered[T]{
+		e:       e,
+		buckets: make([]*stm.Var[[]seqItem[T]], orderedBuckets),
+		nextOut: stm.NewVar(e, 0),
+		closed:  stm.NewVar(e, false),
+		arrived: tk.NewCondVar(),
+	}
+	for i := range o.buckets {
+		o.buckets[i] = stm.NewVar(e, []seqItem[T](nil))
+	}
+	return o
+}
+
+func (o *txnOrdered[T]) Put(seq int, x T) {
+	b := o.buckets[seq%orderedBuckets]
+	o.e.MustAtomic(func(tx *stm.Tx) {
+		list := stm.Read(tx, b)
+		nl := make([]seqItem[T], len(list), len(list)+1)
+		copy(nl, list)
+		stm.Write(tx, b, append(nl, seqItem[T]{seq, x}))
+		if seq == stm.Read(tx, o.nextOut) {
+			o.arrived.NotifyOne(tx)
+		}
+	})
+}
+
+func (o *txnOrdered[T]) Next() (T, bool) {
+	var out T
+	for {
+		st := opRetry
+		o.e.MustAtomic(func(tx *stm.Tx) {
+			st = opRetry
+			next := stm.Read(tx, o.nextOut)
+			b := o.buckets[next%orderedBuckets]
+			list := stm.Read(tx, b)
+			for i := range list {
+				if list[i].seq == next {
+					out = list[i].val
+					nl := make([]seqItem[T], 0, len(list)-1)
+					nl = append(nl, list[:i]...)
+					nl = append(nl, list[i+1:]...)
+					stm.Write(tx, b, nl)
+					stm.Write(tx, o.nextOut, next+1)
+					st = opDone
+					return
+				}
+			}
+			if stm.Read(tx, o.closed) {
+				st = opClosed
+				return
+			}
+			o.arrived.WaitTx(tx)
+		})
+		switch st {
+		case opDone:
+			return out, true
+		case opClosed:
+			var zero T
+			return zero, false
+		}
+	}
+}
+
+func (o *txnOrdered[T]) Close() {
+	o.e.MustAtomic(func(tx *stm.Tx) {
+		stm.Write(tx, o.closed, true)
+		o.arrived.NotifyAll(tx)
+	})
+}
+
+func (o *txnOrdered[T]) Pending() int {
+	n := 0
+	o.e.MustAtomic(func(tx *stm.Tx) {
+		n = 0
+		for _, b := range o.buckets {
+			n += len(stm.Read(tx, b))
+		}
+	})
+	return n
+}

@@ -1,0 +1,108 @@
+package facility
+
+import "sync"
+
+// Pipeline is the ferret/dedup skeleton: N stages connected by bounded
+// queues, each stage with its own pool of worker goroutines. Because both
+// queue flavours implement Queue, the pipeline itself is written once and
+// inherits the toolkit's synchronization system from its queues.
+//
+// Stage functions map one input item to zero or more output items
+// (dedup's chunker fans out; its compressor is 1:1). The final stage's
+// outputs go to the sink function, which is called concurrently by the
+// last stage's workers unless the pipeline is built with an Ordered sink.
+type Pipeline[T any] struct {
+	stages []*pipeStage[T]
+	queues []Queue[T]
+	sink   func(T)
+	wg     sync.WaitGroup
+}
+
+type pipeStage[T any] struct {
+	name    string
+	workers int
+	fn      func(T, func(T)) // fn(item, emit)
+}
+
+// PipelineBuilder accumulates stages before Start.
+type PipelineBuilder[T any] struct {
+	tk       *Toolkit
+	queueCap int
+	stages   []*pipeStage[T]
+}
+
+// NewPipeline starts building a pipeline whose inter-stage queues have the
+// given capacity.
+func NewPipeline[T any](tk *Toolkit, queueCap int) *PipelineBuilder[T] {
+	return &PipelineBuilder[T]{tk: tk, queueCap: queueCap}
+}
+
+// Stage appends a stage with the given worker count. fn receives an input
+// item and an emit callback for its outputs.
+func (b *PipelineBuilder[T]) Stage(name string, workers int, fn func(item T, emit func(T))) *PipelineBuilder[T] {
+	if workers <= 0 {
+		panic("facility: pipeline stage needs at least one worker")
+	}
+	b.stages = append(b.stages, &pipeStage[T]{name: name, workers: workers, fn: fn})
+	return b
+}
+
+// Start wires the queues, launches the workers, and returns the running
+// pipeline. sink consumes the final stage's outputs.
+func (b *PipelineBuilder[T]) Start(sink func(T)) *Pipeline[T] {
+	if len(b.stages) == 0 {
+		panic("facility: pipeline with no stages")
+	}
+	p := &Pipeline[T]{stages: b.stages, sink: sink}
+	p.queues = make([]Queue[T], len(b.stages))
+	for i := range b.stages {
+		p.queues[i] = NewQueue[T](b.tk, b.queueCap)
+	}
+	for i, st := range b.stages {
+		in := p.queues[i]
+		var emit func(T)
+		if i+1 < len(b.stages) {
+			out := p.queues[i+1]
+			emit = func(x T) { out.Put(x) }
+		} else {
+			emit = sink
+		}
+		var stageWG sync.WaitGroup
+		for w := 0; w < st.workers; w++ {
+			p.wg.Add(1)
+			stageWG.Add(1)
+			fn := st.fn
+			go func() {
+				defer p.wg.Done()
+				defer stageWG.Done()
+				for {
+					item, ok := in.Get()
+					if !ok {
+						return
+					}
+					fn(item, emit)
+				}
+			}()
+		}
+		// When every worker of this stage exits (its input closed and
+		// drained), close the next stage's queue.
+		if i+1 < len(b.stages) {
+			next := p.queues[i+1]
+			go func() {
+				stageWG.Wait()
+				next.Close()
+			}()
+		}
+	}
+	return p
+}
+
+// Feed inserts an item into the first stage.
+func (p *Pipeline[T]) Feed(x T) bool { return p.queues[0].Put(x) }
+
+// Drain closes the input and blocks until every item has flowed through
+// every stage and the sink.
+func (p *Pipeline[T]) Drain() {
+	p.queues[0].Close()
+	p.wg.Wait()
+}

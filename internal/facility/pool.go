@@ -1,0 +1,217 @@
+package facility
+
+import (
+	"repro/internal/core"
+	"repro/internal/stm"
+	"repro/internal/syncx"
+)
+
+// Pool is bodytrack's persistent thread pool: a fixed set of worker
+// goroutines parked on a condition variable; Run hands every worker the
+// same command, blocks until all of them finish it, and leaves the pool
+// parked for the next command. (bodytrack's WorkerGroup does exactly
+// this: a command word, a generation, and two condvars.)
+type Pool interface {
+	// Run makes every worker execute job(workerID) once and returns when
+	// all have finished.
+	Run(job func(worker int))
+	// Close terminates the workers.
+	Close()
+}
+
+// NewPool builds a pool of the toolkit's flavour with the given worker
+// count.
+func NewPool(tk *Toolkit, workers int) Pool {
+	if workers <= 0 {
+		panic("facility: pool needs at least one worker")
+	}
+	if tk.Transactional() {
+		return newTxnPool(tk, workers)
+	}
+	return newLockPool(tk, workers)
+}
+
+// lockPool: generation-counted command dispatch under one mutex.
+type lockPool struct {
+	mu      syncx.Mutex
+	newCmd  Cond // workers wait for a command
+	done    Cond // Run waits for completion
+	job     func(int)
+	gen     int
+	running int
+	closed  bool
+	workers int
+}
+
+func newLockPool(tk *Toolkit, workers int) *lockPool {
+	p := &lockPool{newCmd: tk.NewCond(), done: tk.NewCond(), workers: workers}
+	for i := 0; i < workers; i++ {
+		go p.worker(i)
+	}
+	return p
+}
+
+func (p *lockPool) worker(id int) {
+	lastGen := 0
+	for {
+		p.mu.Lock()
+		for p.gen == lastGen && !p.closed {
+			p.newCmd.Wait(&p.mu)
+		}
+		if p.closed {
+			p.running--
+			if p.running == 0 {
+				p.done.Broadcast()
+			}
+			p.mu.Unlock()
+			return
+		}
+		lastGen = p.gen
+		job := p.job
+		p.mu.Unlock()
+
+		job(id)
+
+		p.mu.Lock()
+		p.running--
+		if p.running == 0 {
+			p.done.Broadcast()
+		}
+		p.mu.Unlock()
+	}
+}
+
+func (p *lockPool) Run(job func(int)) {
+	p.mu.Lock()
+	p.job = job
+	p.gen++
+	p.running = p.workers
+	p.newCmd.Broadcast()
+	for p.running > 0 {
+		p.done.Wait(&p.mu)
+	}
+	p.mu.Unlock()
+}
+
+func (p *lockPool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.running = p.workers
+	p.newCmd.Broadcast()
+	for p.running > 0 {
+		p.done.Wait(&p.mu)
+	}
+	p.mu.Unlock()
+}
+
+// txnPool: the same protocol over transactional state.
+type txnPool struct {
+	e       *stm.Engine
+	job     *stm.Var[func(int)]
+	gen     *stm.Var[int]
+	running *stm.Var[int]
+	closed  *stm.Var[bool]
+	newCmd  *core.CondVar
+	done    *core.CondVar
+	workers int
+}
+
+func newTxnPool(tk *Toolkit, workers int) *txnPool {
+	e := tk.Engine
+	p := &txnPool{
+		e:       e,
+		job:     stm.NewVar[func(int)](e, nil),
+		gen:     stm.NewVar(e, 0),
+		running: stm.NewVar(e, 0),
+		closed:  stm.NewVar(e, false),
+		newCmd:  tk.NewCondVar(),
+		done:    tk.NewCondVar(),
+		workers: workers,
+	}
+	for i := 0; i < workers; i++ {
+		go p.worker(i)
+	}
+	return p
+}
+
+func (p *txnPool) worker(id int) {
+	lastGen := 0
+	for {
+		var job func(int)
+		st := opRetry
+		p.e.MustAtomic(func(tx *stm.Tx) {
+			st = opRetry
+			job = nil
+			// lastGen is mutated inside the transaction; checkpoint it so
+			// an abort restores the pre-attempt value (the Section 4.2
+			// stack-checkpointing hazard, handled with stm.Saved).
+			stm.Saved(tx, &lastGen)
+			if stm.Read(tx, p.closed) {
+				r := stm.Read(tx, p.running) - 1
+				stm.Write(tx, p.running, r)
+				if r == 0 {
+					p.done.NotifyAll(tx)
+				}
+				st = opClosed
+				return
+			}
+			if g := stm.Read(tx, p.gen); g != lastGen {
+				lastGen = g
+				job = stm.Read(tx, p.job)
+				st = opDone
+				return
+			}
+			p.newCmd.WaitTx(tx)
+		})
+		switch st {
+		case opClosed:
+			return
+		case opRetry:
+			continue
+		}
+
+		job(id)
+
+		p.e.MustAtomic(func(tx *stm.Tx) {
+			r := stm.Read(tx, p.running) - 1
+			stm.Write(tx, p.running, r)
+			if r == 0 {
+				p.done.NotifyAll(tx)
+			}
+		})
+	}
+}
+
+func (p *txnPool) Run(job func(int)) {
+	p.e.MustAtomic(func(tx *stm.Tx) {
+		stm.Write(tx, p.job, job)
+		stm.Write(tx, p.gen, stm.Read(tx, p.gen)+1)
+		stm.Write(tx, p.running, p.workers)
+		p.newCmd.NotifyAll(tx)
+	})
+	p.awaitIdle()
+}
+
+func (p *txnPool) Close() {
+	p.e.MustAtomic(func(tx *stm.Tx) {
+		stm.Write(tx, p.closed, true)
+		stm.Write(tx, p.running, p.workers)
+		p.newCmd.NotifyAll(tx)
+	})
+	p.awaitIdle()
+}
+
+func (p *txnPool) awaitIdle() {
+	for {
+		done := false
+		p.e.MustAtomic(func(tx *stm.Tx) {
+			done = stm.Read(tx, p.running) == 0
+			if !done {
+				p.done.WaitTx(tx)
+			}
+		})
+		if done {
+			return
+		}
+	}
+}

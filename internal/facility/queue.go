@@ -1,0 +1,221 @@
+package facility
+
+import (
+	"repro/internal/core"
+	"repro/internal/stm"
+	"repro/internal/syncx"
+)
+
+// Queue is a bounded, blocking multi-producer/multi-consumer queue — the
+// workhorse of ferret's and dedup's pipelines and bodytrack's
+// synchronization queue.
+//
+// Put blocks while the queue is full and reports false if the queue was
+// closed. Get blocks while the queue is empty and reports false once the
+// queue is closed and drained.
+type Queue[T any] interface {
+	Put(x T) bool
+	Get() (T, bool)
+	Close()
+	Len() int
+}
+
+// NewQueue builds a queue of the toolkit's flavour with the given
+// capacity.
+func NewQueue[T any](tk *Toolkit, capacity int) Queue[T] {
+	if capacity <= 0 {
+		panic("facility: queue capacity must be positive")
+	}
+	if tk.Transactional() {
+		return newTxnQueue[T](tk, capacity)
+	}
+	return newLockQueue[T](tk, capacity)
+}
+
+// lockQueue is the classic mutex + two-condvar bounded ring buffer, the
+// exact shape of PARSEC's queue implementations (dedup's queue.c, ferret's
+// tpool queues).
+type lockQueue[T any] struct {
+	mu       syncx.Mutex
+	notEmpty Cond
+	notFull  Cond
+	buf      []T
+	head     int
+	n        int
+	closed   bool
+}
+
+func newLockQueue[T any](tk *Toolkit, capacity int) *lockQueue[T] {
+	return &lockQueue[T]{
+		notEmpty: tk.NewCond(),
+		notFull:  tk.NewCond(),
+		buf:      make([]T, capacity),
+	}
+}
+
+func (q *lockQueue[T]) Put(x T) bool {
+	q.mu.Lock()
+	for q.n == len(q.buf) && !q.closed {
+		q.notFull.Wait(&q.mu)
+	}
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = x
+	q.n++
+	q.notEmpty.Signal()
+	q.mu.Unlock()
+	return true
+}
+
+func (q *lockQueue[T]) Get() (T, bool) {
+	q.mu.Lock()
+	for q.n == 0 && !q.closed {
+		q.notEmpty.Wait(&q.mu)
+	}
+	if q.n == 0 { // closed and drained
+		var zero T
+		q.mu.Unlock()
+		return zero, false
+	}
+	x := q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero // release reference
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	q.notFull.Signal()
+	q.mu.Unlock()
+	return x, true
+}
+
+func (q *lockQueue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+	q.mu.Unlock()
+}
+
+func (q *lockQueue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// txnQueue is the transactionalized ring buffer: every operation is one
+// transaction, and blocked operations use the manually-refactored
+// WaitTx/re-check loop of Section 5.3.
+type txnQueue[T any] struct {
+	e        *stm.Engine
+	slots    []*stm.Var[T]
+	head     *stm.Var[int]
+	n        *stm.Var[int]
+	closed   *stm.Var[bool]
+	notEmpty *core.CondVar
+	notFull  *core.CondVar
+}
+
+func newTxnQueue[T any](tk *Toolkit, capacity int) *txnQueue[T] {
+	e := tk.Engine
+	q := &txnQueue[T]{
+		e:        e,
+		slots:    make([]*stm.Var[T], capacity),
+		head:     stm.NewVar(e, 0),
+		n:        stm.NewVar(e, 0),
+		closed:   stm.NewVar(e, false),
+		notEmpty: tk.NewCondVar(),
+		notFull:  tk.NewCondVar(),
+	}
+	var zero T
+	for i := range q.slots {
+		q.slots[i] = stm.NewVar(e, zero)
+	}
+	return q
+}
+
+// txn op results for the re-check loops.
+const (
+	opRetry = iota
+	opDone
+	opClosed
+)
+
+func (q *txnQueue[T]) Put(x T) bool {
+	for {
+		st := opRetry
+		q.e.MustAtomic(func(tx *stm.Tx) {
+			st = opRetry
+			if stm.Read(tx, q.closed) {
+				st = opClosed
+				return
+			}
+			n := stm.Read(tx, q.n)
+			if n < len(q.slots) {
+				h := stm.Read(tx, q.head)
+				stm.Write(tx, q.slots[(h+n)%len(q.slots)], x)
+				stm.Write(tx, q.n, n+1)
+				q.notEmpty.NotifyOne(tx)
+				st = opDone
+				return
+			}
+			// Full: sleep until a Get makes room, then re-check
+			// (oblivious wake-ups are possible; spurious ones are not).
+			q.notFull.WaitTx(tx)
+		})
+		switch st {
+		case opDone:
+			return true
+		case opClosed:
+			return false
+		}
+	}
+}
+
+func (q *txnQueue[T]) Get() (T, bool) {
+	var out T
+	for {
+		st := opRetry
+		q.e.MustAtomic(func(tx *stm.Tx) {
+			st = opRetry
+			n := stm.Read(tx, q.n)
+			if n > 0 {
+				h := stm.Read(tx, q.head)
+				out = stm.Read(tx, q.slots[h])
+				var zero T
+				stm.Write(tx, q.slots[h], zero)
+				stm.Write(tx, q.head, (h+1)%len(q.slots))
+				stm.Write(tx, q.n, n-1)
+				q.notFull.NotifyOne(tx)
+				st = opDone
+				return
+			}
+			if stm.Read(tx, q.closed) {
+				st = opClosed
+				return
+			}
+			q.notEmpty.WaitTx(tx)
+		})
+		switch st {
+		case opDone:
+			return out, true
+		case opClosed:
+			var zero T
+			return zero, false
+		}
+	}
+}
+
+func (q *txnQueue[T]) Close() {
+	q.e.MustAtomic(func(tx *stm.Tx) {
+		stm.Write(tx, q.closed, true)
+		q.notEmpty.NotifyAll(tx)
+		q.notFull.NotifyAll(tx)
+	})
+}
+
+func (q *txnQueue[T]) Len() int {
+	n := 0
+	q.e.MustAtomic(func(tx *stm.Tx) { n = stm.Read(tx, q.n) })
+	return n
+}

@@ -1,0 +1,239 @@
+package facility
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/stm"
+)
+
+// Regression and edge-case tests for the facility implementations.
+
+// TestTxnPoolLastGenCheckpointRegression pins the Section 4.2 hazard that
+// bit this codebase during development: the worker's lastGen local is
+// mutated inside the transaction, and without stm.Saved an aborted attempt
+// would carry the new generation into the retry and miss its job. High
+// conflict pressure (tiny orec table → false conflicts) makes aborts
+// likely; every worker must still run every command.
+func TestTxnPoolLastGenCheckpointRegression(t *testing.T) {
+	e := stm.NewEngine(stm.Config{Algorithm: stm.AlgWriteThrough, OrecCount: 1})
+	tk := &Toolkit{Kind: Txn, Engine: e}
+	const workers, rounds = 4, 30
+	p := NewPool(tk, workers)
+	var runs atomic.Int64
+	for r := 0; r < rounds; r++ {
+		p.Run(func(w int) { runs.Add(1) })
+	}
+	p.Close()
+	if got := runs.Load(); got != workers*rounds {
+		t.Fatalf("runs = %d, want %d (a lost generation means a missed checkpoint restore)",
+			got, workers*rounds)
+	}
+}
+
+// TestQueueWraparound exercises the ring-buffer indices across many laps.
+func TestQueueWraparound(t *testing.T) {
+	forEachKind(t, func(t *testing.T, tk *Toolkit) {
+		q := NewQueue[int](tk, 3)
+		for lap := 0; lap < 50; lap++ {
+			for i := 0; i < 3; i++ {
+				if !q.Put(lap*10 + i) {
+					t.Fatal("Put failed")
+				}
+			}
+			for i := 0; i < 3; i++ {
+				x, ok := q.Get()
+				if !ok || x != lap*10+i {
+					t.Fatalf("lap %d: Get = (%d,%v), want %d", lap, x, ok, lap*10+i)
+				}
+			}
+		}
+	})
+}
+
+// TestQueueCloseIdempotent: closing twice must not wedge or panic.
+func TestQueueCloseIdempotent(t *testing.T) {
+	forEachKind(t, func(t *testing.T, tk *Toolkit) {
+		q := NewQueue[int](tk, 2)
+		q.Close()
+		q.Close()
+		if _, ok := q.Get(); ok {
+			t.Fatal("Get on doubly-closed empty queue succeeded")
+		}
+	})
+}
+
+// TestBlockedGetWakesOnClose mirrors the Put-side test for consumers.
+func TestBlockedGetWakesOnClose(t *testing.T) {
+	forEachKind(t, func(t *testing.T, tk *Toolkit) {
+		q := NewQueue[int](tk, 2)
+		res := make(chan bool, 1)
+		go func() {
+			_, ok := q.Get()
+			res <- ok
+		}()
+		time.Sleep(20 * time.Millisecond)
+		q.Close()
+		select {
+		case ok := <-res:
+			if ok {
+				t.Fatal("blocked Get on empty closed queue reported an item")
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("blocked Get never woke on Close")
+		}
+	})
+}
+
+// TestTaskQueueDrainWithNoTasks must return immediately.
+func TestTaskQueueDrainWithNoTasks(t *testing.T) {
+	forEachKind(t, func(t *testing.T, tk *Toolkit) {
+		q := NewTaskQueue(tk, 2)
+		done := make(chan struct{})
+		go func() {
+			q.Drain()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("Drain blocked with nothing pending")
+		}
+		q.Close()
+	})
+}
+
+// TestBarrierManyParties stresses a wide barrier where the release
+// broadcast must wake everyone in one shot.
+func TestBarrierManyParties(t *testing.T) {
+	forEachKind(t, func(t *testing.T, tk *Toolkit) {
+		const parties, rounds = 16, 5
+		b := NewBarrier(tk, parties)
+		var wg sync.WaitGroup
+		var entered atomic.Int32
+		bad := make(chan string, parties)
+		for p := 0; p < parties; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					entered.Add(1)
+					b.Arrive()
+					if int(entered.Load()) < parties*(r+1) {
+						bad <- "released before all arrived"
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		select {
+		case msg := <-bad:
+			t.Fatal(msg)
+		default:
+		}
+	})
+}
+
+// TestPipelineSingleStage: the degenerate one-stage pipeline.
+func TestPipelineSingleStage(t *testing.T) {
+	forEachKind(t, func(t *testing.T, tk *Toolkit) {
+		var sum atomic.Int64
+		p := NewPipeline[int](tk, 2).
+			Stage("only", 2, func(x int, emit func(int)) { emit(x * 2) }).
+			Start(func(x int) { sum.Add(int64(x)) })
+		for i := 1; i <= 50; i++ {
+			p.Feed(i)
+		}
+		p.Drain()
+		if got := sum.Load(); got != 2550 {
+			t.Fatalf("sum = %d, want 2550", got)
+		}
+	})
+}
+
+// TestPipelineFilterStage: stages may emit zero outputs (filtering).
+func TestPipelineFilterStage(t *testing.T) {
+	forEachKind(t, func(t *testing.T, tk *Toolkit) {
+		var count atomic.Int64
+		p := NewPipeline[int](tk, 2).
+			Stage("filter", 2, func(x int, emit func(int)) {
+				if x%2 == 0 {
+					emit(x)
+				}
+			}).
+			Stage("pass", 1, func(x int, emit func(int)) { emit(x) }).
+			Start(func(int) { count.Add(1) })
+		for i := 0; i < 100; i++ {
+			p.Feed(i)
+		}
+		p.Drain()
+		if got := count.Load(); got != 50 {
+			t.Fatalf("count = %d, want 50", got)
+		}
+	})
+}
+
+// TestOrderedSingleItem and duplicate-free delivery with a pathological
+// arrival order (strictly reversed).
+func TestOrderedReversedArrival(t *testing.T) {
+	forEachKind(t, func(t *testing.T, tk *Toolkit) {
+		o := NewOrdered[int](tk, 4)
+		const n = 40
+		done := make(chan struct{})
+		go func() {
+			for seq := n - 1; seq >= 0; seq-- {
+				o.Put(seq, seq)
+			}
+			o.Close()
+			close(done)
+		}()
+		for want := 0; want < n; want++ {
+			x, ok := o.Next()
+			if !ok || x != want {
+				t.Fatalf("Next = (%d,%v), want %d", x, ok, want)
+			}
+		}
+		if _, ok := o.Next(); ok {
+			t.Fatal("Next returned an item after the stream ended")
+		}
+		<-done
+	})
+}
+
+// TestFrameSyncManyWaitersOneFrame: all waiters of one frame release
+// together when progress passes their rows.
+func TestFrameSyncManyWaitersOneFrame(t *testing.T) {
+	forEachKind(t, func(t *testing.T, tk *Toolkit) {
+		fs := NewFrameSync(tk, 1)
+		const n = 6
+		var wg sync.WaitGroup
+		var released atomic.Int32
+		for i := 1; i <= n; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				fs.WaitFor(0, i)
+				released.Add(1)
+			}()
+		}
+		time.Sleep(20 * time.Millisecond)
+		fs.Publish(0, 3)
+		deadline := time.Now().Add(10 * time.Second)
+		for released.Load() < 3 {
+			if time.Now().After(deadline) {
+				t.Fatalf("released = %d, want 3", released.Load())
+			}
+			time.Sleep(time.Millisecond)
+		}
+		time.Sleep(20 * time.Millisecond)
+		if got := released.Load(); got != 3 {
+			t.Fatalf("released = %d after Publish(3), want exactly 3", got)
+		}
+		fs.Publish(0, n)
+		wg.Wait()
+	})
+}

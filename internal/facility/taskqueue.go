@@ -1,0 +1,231 @@
+package facility
+
+import (
+	"repro/internal/core"
+	"repro/internal/stm"
+	"repro/internal/syncx"
+)
+
+// TaskQueue is the facesim/raytrace-style dynamic, load-balanced task
+// queue: producers Submit work items, a fixed set of worker goroutines
+// (started by the constructor) execute them, and the master calls Drain to
+// block until every submitted task has completed. Two condition variables
+// are involved, exactly as in facesim's taskQ: "work available" for the
+// workers and "all complete" for the master.
+type TaskQueue interface {
+	// Submit enqueues a task. Must not be called after Close.
+	Submit(task func())
+	// Drain blocks until every previously submitted task has finished
+	// executing.
+	Drain()
+	// Close stops the workers after the queue empties and waits for them
+	// to exit.
+	Close()
+}
+
+// NewTaskQueue builds a task queue of the toolkit's flavour with the given
+// number of worker goroutines.
+func NewTaskQueue(tk *Toolkit, workers int) TaskQueue {
+	if workers <= 0 {
+		panic("facility: task queue needs at least one worker")
+	}
+	if tk.Transactional() {
+		return newTxnTaskQueue(tk, workers)
+	}
+	return newLockTaskQueue(tk, workers)
+}
+
+// lockTaskQueue: mutex + workAvail/idle condvars.
+type lockTaskQueue struct {
+	mu        syncx.Mutex
+	workAvail Cond // workers wait here
+	idle      Cond // Drain/Close wait here
+	tasks     []func()
+	pending   int // submitted but not yet finished
+	closed    bool
+	workers   int
+	exited    int
+}
+
+func newLockTaskQueue(tk *Toolkit, workers int) *lockTaskQueue {
+	q := &lockTaskQueue{
+		workAvail: tk.NewCond(),
+		idle:      tk.NewCond(),
+		workers:   workers,
+	}
+	for i := 0; i < workers; i++ {
+		go q.worker()
+	}
+	return q
+}
+
+func (q *lockTaskQueue) Submit(task func()) {
+	q.mu.Lock()
+	q.tasks = append(q.tasks, task)
+	q.pending++
+	q.workAvail.Signal()
+	q.mu.Unlock()
+}
+
+func (q *lockTaskQueue) worker() {
+	for {
+		q.mu.Lock()
+		for len(q.tasks) == 0 && !q.closed {
+			q.workAvail.Wait(&q.mu)
+		}
+		if len(q.tasks) == 0 && q.closed {
+			q.exited++
+			q.idle.Broadcast()
+			q.mu.Unlock()
+			return
+		}
+		task := q.tasks[len(q.tasks)-1] // LIFO pop: cache-warm, like facesim
+		q.tasks = q.tasks[:len(q.tasks)-1]
+		q.mu.Unlock()
+
+		task()
+
+		q.mu.Lock()
+		q.pending--
+		if q.pending == 0 {
+			q.idle.Broadcast()
+		}
+		q.mu.Unlock()
+	}
+}
+
+func (q *lockTaskQueue) Drain() {
+	q.mu.Lock()
+	for q.pending > 0 {
+		q.idle.Wait(&q.mu)
+	}
+	q.mu.Unlock()
+}
+
+func (q *lockTaskQueue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.workAvail.Broadcast()
+	for q.exited < q.workers {
+		q.idle.Wait(&q.mu)
+	}
+	q.mu.Unlock()
+}
+
+// txnTaskQueue: the same structure with transactional state. The task
+// list lives in a Var as an immutable slice (copy-on-write), which keeps
+// transactional snapshots meaningful.
+type txnTaskQueue struct {
+	e         *stm.Engine
+	tasks     *stm.Var[[]func()]
+	pending   *stm.Var[int]
+	closed    *stm.Var[bool]
+	exited    *stm.Var[int]
+	workAvail *core.CondVar
+	idle      *core.CondVar
+	workers   int
+}
+
+func newTxnTaskQueue(tk *Toolkit, workers int) *txnTaskQueue {
+	e := tk.Engine
+	q := &txnTaskQueue{
+		e:         e,
+		tasks:     stm.NewVar(e, []func(){}),
+		pending:   stm.NewVar(e, 0),
+		closed:    stm.NewVar(e, false),
+		exited:    stm.NewVar(e, 0),
+		workAvail: tk.NewCondVar(),
+		idle:      tk.NewCondVar(),
+		workers:   workers,
+	}
+	for i := 0; i < workers; i++ {
+		go q.worker()
+	}
+	return q
+}
+
+func (q *txnTaskQueue) Submit(task func()) {
+	q.e.MustAtomic(func(tx *stm.Tx) {
+		ts := stm.Read(tx, q.tasks)
+		nts := make([]func(), len(ts), len(ts)+1)
+		copy(nts, ts)
+		stm.Write(tx, q.tasks, append(nts, task))
+		stm.Write(tx, q.pending, stm.Read(tx, q.pending)+1)
+		q.workAvail.NotifyOne(tx)
+	})
+}
+
+func (q *txnTaskQueue) worker() {
+	for {
+		var task func()
+		st := opRetry
+		q.e.MustAtomic(func(tx *stm.Tx) {
+			st = opRetry
+			task = nil
+			ts := stm.Read(tx, q.tasks)
+			if len(ts) > 0 {
+				task = ts[len(ts)-1]
+				stm.Write(tx, q.tasks, ts[:len(ts)-1:len(ts)-1])
+				st = opDone
+				return
+			}
+			if stm.Read(tx, q.closed) {
+				stm.Write(tx, q.exited, stm.Read(tx, q.exited)+1)
+				q.idle.NotifyAll(tx)
+				st = opClosed
+				return
+			}
+			q.workAvail.WaitTx(tx)
+		})
+		switch st {
+		case opClosed:
+			return
+		case opRetry:
+			continue
+		}
+
+		task() // outside any transaction, as in the lock version
+
+		q.e.MustAtomic(func(tx *stm.Tx) {
+			p := stm.Read(tx, q.pending) - 1
+			stm.Write(tx, q.pending, p)
+			if p == 0 {
+				q.idle.NotifyAll(tx)
+			}
+		})
+	}
+}
+
+func (q *txnTaskQueue) Drain() {
+	for {
+		done := false
+		q.e.MustAtomic(func(tx *stm.Tx) {
+			done = stm.Read(tx, q.pending) == 0
+			if !done {
+				q.idle.WaitTx(tx)
+			}
+		})
+		if done {
+			return
+		}
+	}
+}
+
+func (q *txnTaskQueue) Close() {
+	q.e.MustAtomic(func(tx *stm.Tx) {
+		stm.Write(tx, q.closed, true)
+		q.workAvail.NotifyAll(tx)
+	})
+	for {
+		done := false
+		q.e.MustAtomic(func(tx *stm.Tx) {
+			done = stm.Read(tx, q.exited) == q.workers
+			if !done {
+				q.idle.WaitTx(tx)
+			}
+		})
+		if done {
+			return
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/facility"
+	"repro/internal/parsec"
+)
+
+func TestProgressWriterReceivesLines(t *testing.T) {
+	b := &fastBench{
+		name: "prog",
+		durs: map[facility.Kind]time.Duration{
+			facility.LockPthread: time.Millisecond,
+			facility.LockTM:      time.Millisecond,
+			facility.Txn:         time.Millisecond,
+		},
+	}
+	var log strings.Builder
+	sw := Run(SweepConfig{
+		Benchmarks: []parsec.Benchmark{b},
+		MaxThreads: 1,
+		Trials:     1,
+		Progress:   &log,
+	})
+	if len(sw.Cells) != 3 {
+		t.Fatalf("cells = %d", len(sw.Cells))
+	}
+	out := log.String()
+	if got := strings.Count(out, "prog"); got != 3 {
+		t.Fatalf("progress log mentions the benchmark %d times, want 3:\n%s", got, out)
+	}
+	for _, sys := range facility.Kinds {
+		if !strings.Contains(out, sys.String()) {
+			t.Fatalf("progress log missing system %v:\n%s", sys, out)
+		}
+	}
+}
+
+func TestSpeedupsSkipMissingBaseline(t *testing.T) {
+	// A sweep without the pthread baseline yields no speedups rather
+	// than dividing by zero.
+	b := &fastBench{
+		name: "nobase",
+		durs: map[facility.Kind]time.Duration{
+			facility.LockTM: time.Millisecond,
+			facility.Txn:    time.Millisecond,
+		},
+	}
+	sw := Run(SweepConfig{
+		Benchmarks: []parsec.Benchmark{b},
+		Systems:    []facility.Kind{facility.LockTM, facility.Txn},
+		MaxThreads: 1,
+		Trials:     1,
+	})
+	if got := len(sw.Speedups()); got != 0 {
+		t.Fatalf("speedups without baseline = %d entries", got)
+	}
+	if got := len(sw.Geomean()); got != 0 {
+		t.Fatalf("geomean without baseline = %d entries", got)
+	}
+}

@@ -1,0 +1,159 @@
+// Package monitor builds classic monitors on top of the
+// transaction-friendly condition variable, making the Hoare-vs-Mesa
+// discussion of the paper's Section 3.4 executable.
+//
+// Hoare's monitors (CACM 1974) transfer the monitor lock directly from
+// the signaler to the woken waiter: the waiter resumes immediately, its
+// predicate intact, while the signaler parks on an "urgent" queue with
+// priority over threads entering fresh. Mesa (and POSIX, and the paper's
+// condvar) relaxed this: a signal is a hint, the woken thread re-acquires
+// the lock in competition with everyone else, and predicates must be
+// re-checked.
+//
+// Both semantics are offered here behind one interface. The monitor lock
+// is a binary semaphore with FIFO direct hand-off (package sem), which is
+// exactly the mechanism Hoare's original semaphore construction requires
+// — a barging mutex cannot express his semantics. Wake-up order and
+// bookkeeping use the paper's condvar underneath, driven through a custom
+// syncx.Sync whose End performs the hand-off-aware lock release.
+//
+// Invariant: every field of Monitor except the semaphores is accessed
+// only while holding the monitor lock; the lock (and with it the right to
+// touch the fields) travels by direct semaphore hand-off, so the fields
+// need no further synchronization.
+package monitor
+
+import (
+	"repro/internal/core"
+	"repro/internal/sem"
+	"repro/internal/stm"
+	"repro/internal/syncx"
+)
+
+// Semantics selects the signal discipline.
+type Semantics int
+
+const (
+	// Mesa: Signal is a hint; the woken thread re-enters the monitor in
+	// competition with other threads and must re-check its predicate.
+	Mesa Semantics = iota
+	// Hoare: Signal hands the monitor directly to the woken thread; the
+	// signaler parks on the urgent queue and resumes with priority when
+	// the monitor is next released.
+	Hoare
+)
+
+func (s Semantics) String() string {
+	if s == Hoare {
+		return "hoare"
+	}
+	return "mesa"
+}
+
+// Monitor is a monitor (mutual exclusion region plus condition
+// variables). Create with New; use Enter/Leave around the critical
+// section and NewCond for conditions.
+type Monitor struct {
+	e         *stm.Engine
+	semantics Semantics
+
+	lock   sem.Sem // binary, starts at 1: the monitor lock (FIFO hand-off)
+	urgent sem.Sem // Hoare signalers wait here for the lock back
+
+	urgentCount int // signalers parked on urgent; guarded by the lock
+}
+
+// New creates a monitor whose condvars run their internal transactions on
+// e.
+func New(e *stm.Engine, s Semantics) *Monitor {
+	m := &Monitor{e: e, semantics: s}
+	m.lock.Post() // the lock starts free
+	return m
+}
+
+// Semantics returns the signal discipline.
+func (m *Monitor) Semantics() Semantics { return m.semantics }
+
+// Enter acquires the monitor.
+func (m *Monitor) Enter() { m.lock.Wait() }
+
+// Leave releases the monitor. Under Hoare semantics, parked signalers
+// have priority over threads waiting to enter.
+func (m *Monitor) Leave() {
+	if m.urgentCount > 0 {
+		m.urgent.Post() // hand the lock to a parked signaler
+		return
+	}
+	m.lock.Post()
+}
+
+// monitorSync adapts the hand-off-aware release to the condvar's Sync
+// interface: End releases the monitor (Algorithm 4 line 9); the
+// continuation machinery is unused (waits here pass nil continuations and
+// re-enter explicitly when Mesa semantics require it).
+type monitorSync struct{ m *Monitor }
+
+func (s monitorSync) End()                    { s.m.Leave() }
+func (s monitorSync) Exec(c func(syncx.Sync)) { panic("monitor: continuation unused") }
+func (s monitorSync) Tx() *stm.Tx             { return nil }
+
+// Cond is a condition of a monitor.
+type Cond struct {
+	m  *Monitor
+	cv *core.CondVar
+}
+
+// NewCond creates a condition attached to the monitor.
+func (m *Monitor) NewCond() *Cond {
+	return &Cond{m: m, cv: core.New(m.e, core.Options{})}
+}
+
+// Wait releases the monitor and blocks until signaled. On return the
+// caller is inside the monitor again: under Hoare semantics it received
+// the monitor directly from the signaler (predicate guaranteed); under
+// Mesa it re-entered in competition and must re-check.
+func (c *Cond) Wait() {
+	// Enqueue, hand-off-aware release, sleep. nil continuation: the
+	// empty-continuation fast path skips any automatic re-acquisition.
+	c.cv.Wait(monitorSync{c.m}, nil)
+	if c.m.semantics == Mesa {
+		c.m.Enter()
+	}
+	// Hoare: the signaler handed us the monitor with the wake-up.
+}
+
+// Signal wakes the longest-waiting thread on this condition, if any. The
+// caller must hold the monitor.
+//
+// Hoare: the monitor passes directly to the woken thread and the caller
+// parks until the monitor is released back to it. Mesa: the wake-up is
+// asynchronous and the caller keeps the monitor.
+func (c *Cond) Signal() {
+	if c.m.semantics == Mesa {
+		c.cv.NotifyOne(nil)
+		return
+	}
+	// We hold the monitor, so the queue length cannot change under us:
+	// waiters enqueue only while holding the monitor.
+	if c.cv.Len() == 0 {
+		return
+	}
+	c.m.urgentCount++
+	c.cv.NotifyOne(nil) // the woken waiter now owns the monitor
+	c.m.urgent.Wait()   // park until Leave/Wait hands it back
+	c.m.urgentCount--
+}
+
+// Broadcast wakes every waiting thread. Only meaningful under Mesa
+// semantics (Hoare's monitors predate broadcast; his signal transfers the
+// monitor to exactly one thread), so it panics under Hoare.
+func (c *Cond) Broadcast() {
+	if c.m.semantics == Hoare {
+		panic("monitor: Broadcast is undefined under Hoare semantics")
+	}
+	c.cv.NotifyAll(nil)
+}
+
+// Waiting reports the number of threads waiting on this condition (caller
+// should hold the monitor for a stable answer).
+func (c *Cond) Waiting() int { return c.cv.Len() }

@@ -1,0 +1,149 @@
+package parsec
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/facility"
+)
+
+// bodytrack: computer-vision body tracking with a particle filter. PARSEC's
+// bodytrack builds three condvar facilities (the paper lists them
+// explicitly): a barrier, a multi-threaded synchronization queue feeding
+// frames from the asynchronous I/O thread, and a persistent thread pool
+// executing per-frame commands.
+//
+// This reproduction tracks a hidden 2-D "pose" through a sequence of
+// frames: a loader goroutine pushes synthetic observations through a
+// facility.Queue; for each frame the master drives the persistent
+// facility.Pool through the likelihood computation (partitioned over
+// particles, with a facility.Barrier between the likelihood and weight
+// normalization phases); the master then resamples deterministically.
+type Bodytrack struct{}
+
+// NewBodytrack returns the bodytrack benchmark.
+func NewBodytrack() *Bodytrack { return &Bodytrack{} }
+
+// Name implements Benchmark.
+func (*Bodytrack) Name() string { return "bodytrack" }
+
+// Threads implements Benchmark.
+func (*Bodytrack) Threads(max int) []int { return defaultThreads(max) }
+
+// Profile implements Benchmark. Facility queue (3) + pool (5) + barrier
+// (2, barrier sites). PARSEC's bodytrack: 9 critical sections, 2 condvar
+// (1 barrier), 2 refactored (1 barrier) — Table 1.
+func (*Bodytrack) Profile() SyncProfile {
+	return SyncProfile{
+		Name:              "bodytrack",
+		TotalTransactions: 10, CondVarTxns: 10, CondVarTxnsBarrier: 2,
+		RefactoredConts: 5, RefactoredBarrier: 1,
+		PaperTx: 9, PaperCondVarTx: 2, PaperCondVarTxBarrier: 1,
+		PaperRefactored: 2, PaperRefactoredBarrier: 1,
+	}
+}
+
+type btFrame struct {
+	id  int
+	obs [2]float64 // observed pose
+}
+
+// Run implements Benchmark.
+func (b *Bodytrack) Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	tk := cfg.toolkit()
+
+	particles := cfg.scaled(4096)
+	frames := cfg.scaled(24)
+
+	parties := cfg.Threads
+	pool := facility.NewPool(tk, parties)
+	bar := facility.NewBarrier(tk, parties)
+	frameQ := facility.NewQueue[btFrame](tk, 4)
+
+	px := make([]float64, particles) // particle x
+	py := make([]float64, particles)
+	w := make([]float64, particles) // weights
+	nx := make([]float64, particles)
+	ny := make([]float64, particles)
+	partial := make([]float64, parties)
+	r := newRng(cfg.Seed)
+	for i := 0; i < particles; i++ {
+		px[i] = r.float()
+		py[i] = r.float()
+	}
+
+	// Asynchronous I/O thread: deterministic synthetic observations.
+	go func() {
+		g := newRng(cfg.Seed ^ 0xB0D)
+		for f := 0; f < frames; f++ {
+			ob := btFrame{id: f}
+			ob.obs[0] = 0.5 + 0.3*math.Sin(float64(f)/3) + 0.01*g.float()
+			ob.obs[1] = 0.5 + 0.3*math.Cos(float64(f)/4) + 0.01*g.float()
+			frameQ.Put(ob)
+		}
+		frameQ.Close()
+	}()
+
+	per := (particles + parties - 1) / parties
+	start := time.Now()
+	for {
+		frame, ok := frameQ.Get()
+		if !ok {
+			break
+		}
+		// Per-frame command to the persistent pool: likelihood, barrier,
+		// then per-worker weight sums.
+		pool.Run(func(wk int) {
+			lo := wk * per
+			hi := lo + per
+			if hi > particles {
+				hi = particles
+			}
+			// Phase 1: perturb deterministically and score likelihood.
+			for i := lo; i < hi; i++ {
+				jx := float64(int64(mix64(uint64(i)*31+uint64(frame.id)))%1000) / 25000
+				jy := float64(int64(mix64(uint64(i)*37+uint64(frame.id)))%1000) / 25000
+				cx, cy := px[i]+jx, py[i]+jy
+				dx, dy := cx-frame.obs[0], cy-frame.obs[1]
+				nx[i], ny[i] = cx, cy
+				w[i] = math.Exp(-8 * (dx*dx + dy*dy))
+			}
+			bar.Arrive()
+			// Phase 2: per-worker partial weight sums.
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += w[i]
+			}
+			partial[wk] = s
+		})
+		// Master: normalize and resample toward the weighted mean
+		// (deterministic low-variance resampling surrogate).
+		total := 0.0
+		for _, s := range partial {
+			total += s
+		}
+		if total == 0 {
+			total = 1
+		}
+		meanX, meanY := 0.0, 0.0
+		for i := 0; i < particles; i++ {
+			meanX += nx[i] * w[i]
+			meanY += ny[i] * w[i]
+		}
+		meanX /= total
+		meanY /= total
+		for i := 0; i < particles; i++ {
+			frac := w[i] / total
+			px[i] = 0.7*nx[i] + 0.3*meanX + frac
+			py[i] = 0.7*ny[i] + 0.3*meanY + frac
+		}
+	}
+	pool.Close()
+
+	sum := uint64(0)
+	for i := 0; i < particles; i++ {
+		sum += quant(px[i]) + quant(py[i])*3
+	}
+	return Result{Elapsed: time.Since(start), Checksum: sum, Engine: tk.Engine}
+}

@@ -1,0 +1,91 @@
+package parsec
+
+import (
+	"testing"
+
+	"repro/internal/facility"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Threads != 1 || c.Scale != 1.0 || c.Seed == 0 {
+		t.Fatalf("defaults = %+v", c)
+	}
+}
+
+func TestConfigScaledFloor(t *testing.T) {
+	c := Config{Scale: 0.001}.withDefaults()
+	if got := c.scaled(10); got != 1 {
+		t.Fatalf("scaled floor = %d, want 1", got)
+	}
+	c = Config{Scale: 2.0}.withDefaults()
+	if got := c.scaled(10); got != 20 {
+		t.Fatalf("scaled(10) at 2.0 = %d, want 20", got)
+	}
+}
+
+func TestToolkitConstruction(t *testing.T) {
+	c := Config{System: facility.LockPthread}.withDefaults()
+	if tk := c.toolkit(); tk.Engine != nil {
+		t.Fatal("pthread toolkit has an engine")
+	}
+	for _, sys := range []facility.Kind{facility.LockTM, facility.Txn} {
+		for _, m := range []Machine{Westmere, Haswell} {
+			c := Config{System: sys, Machine: m}.withDefaults()
+			tk := c.toolkit()
+			if tk.Engine == nil {
+				t.Fatalf("%v/%v toolkit missing engine", sys, m)
+			}
+			if got := tk.Engine.Config().Algorithm; got != m.Algorithm() {
+				t.Fatalf("%v engine algorithm = %v", m, got)
+			}
+		}
+	}
+}
+
+func TestMix64Deterministic(t *testing.T) {
+	if mix64(1) != mix64(1) {
+		t.Fatal("mix64 nondeterministic")
+	}
+	if mix64(1) == mix64(2) {
+		t.Fatal("mix64(1) == mix64(2)")
+	}
+}
+
+func TestRngDistribution(t *testing.T) {
+	r := newRng(7)
+	buckets := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		buckets[r.intn(10)]++
+	}
+	for i, n := range buckets {
+		if n < 700 || n > 1300 {
+			t.Fatalf("bucket %d has %d/10000 — distribution skewed", i, n)
+		}
+	}
+	f := r.float()
+	if f < 0 || f >= 1 {
+		t.Fatalf("float() = %v out of [0,1)", f)
+	}
+}
+
+func TestQuantMonotonic(t *testing.T) {
+	if quant(1.0) >= quant(2.0) {
+		t.Fatal("quant not monotonic")
+	}
+	if quant(0) != 0 {
+		t.Fatalf("quant(0) = %d", quant(0))
+	}
+}
+
+func TestPow2AndDefaultLadders(t *testing.T) {
+	if got := pow2Threads(8); len(got) != 4 || got[3] != 8 {
+		t.Fatalf("pow2Threads(8) = %v", got)
+	}
+	if got := pow2Threads(1); len(got) != 1 {
+		t.Fatalf("pow2Threads(1) = %v", got)
+	}
+	if got := defaultThreads(3); len(got) != 3 {
+		t.Fatalf("defaultThreads(3) = %v", got)
+	}
+}

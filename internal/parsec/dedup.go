@@ -1,0 +1,280 @@
+package parsec
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/facility"
+	"repro/internal/stm"
+	"repro/internal/syncx"
+)
+
+// dedup: stream compression with deduplication through a 5-stage pipeline
+// (fragment, refine, deduplicate, compress, reorder+write). PARSEC's dedup
+// uses condition variables in its per-stage queues and in the coordination
+// between worker threads and the serial output thread; its shared
+// fingerprint table is the hot shared state.
+//
+// The paper singles dedup out (Section 5.4): its output stage performs
+// I/O inside a critical section, which the transactional configuration
+// must run as a *relaxed* (irrevocable, globally serializing) transaction
+// — and that kills dedup's scaling under TM. This reproduction keeps that
+// structure: in the TMParsec system every output write runs inside
+// Engine.AtomicRelaxed.
+//
+// Determinism note: the shared fingerprint table is maintained exactly as
+// in the original (insert-if-absent races between workers), but the
+// duplicate-vs-first decision that shapes the output stream is made by the
+// serial reorder thread in sequence order, so the checksum is identical
+// across systems and thread counts. Every chunk is compressed regardless,
+// which keeps per-chunk work independent of the race outcome.
+type Dedup struct{}
+
+// NewDedup returns the dedup benchmark.
+func NewDedup() *Dedup { return &Dedup{} }
+
+// Name implements Benchmark.
+func (*Dedup) Name() string { return "dedup" }
+
+// Threads implements Benchmark.
+func (*Dedup) Threads(max int) []int { return defaultThreads(max) }
+
+// Profile implements Benchmark. Pipeline queue (3) + ordered output (3) +
+// the fingerprint-table transaction + the relaxed output transaction.
+// PARSEC's dedup: 10 critical sections, 3 condvar, 3 refactored — Table 1.
+func (*Dedup) Profile() SyncProfile {
+	return SyncProfile{
+		Name:              "dedup",
+		TotalTransactions: 8, CondVarTxns: 6, CondVarTxnsBarrier: 0,
+		RefactoredConts: 3, RefactoredBarrier: 0,
+		PaperTx: 10, PaperCondVarTx: 3, PaperCondVarTxBarrier: 0,
+		PaperRefactored: 3, PaperRefactoredBarrier: 0,
+	}
+}
+
+const (
+	dedupBuckets  = 256
+	fnvOffset     = 14695981039346656037
+	fnvPrime      = 1099511628211
+	dedupAnchor   = 0xFF // rolling-hash anchor mask: ~1/256 split rate
+	dedupMinChunk = 256
+	dedupMaxChunk = 2048
+)
+
+type dedupChunk struct {
+	seq  int
+	data []byte
+	fp   uint64
+	hit  bool // racy table hit (work-saving signal, not output-shaping)
+	comp []byte
+}
+
+// fingerprint is FNV-1a, dedup's stand-in for SHA1.
+func fingerprint(b []byte) uint64 {
+	h := uint64(fnvOffset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// rleCompress is the synthetic "compression" stage: run-length encoding
+// plus a mixing pass, enough CPU work to make the stage real.
+func rleCompress(b []byte) []byte {
+	out := make([]byte, 0, len(b)/2+8)
+	i := 0
+	for i < len(b) {
+		j := i
+		for j < len(b) && b[j] == b[i] && j-i < 255 {
+			j++
+		}
+		out = append(out, byte(j-i), b[i])
+		i = j
+	}
+	// Mixing pass (models the entropy coder's cost).
+	acc := uint64(fnvOffset)
+	for _, c := range out {
+		acc = (acc ^ uint64(c)) * fnvPrime
+	}
+	out = append(out, byte(acc), byte(acc>>8))
+	return out
+}
+
+// dedupTable is the shared fingerprint table: bucketed mutexes for the
+// lock systems, per-bucket transactional vars for TMParsec.
+type dedupTable struct {
+	tk *facility.Toolkit
+	// lock flavour
+	mus     []syncx.Mutex
+	buckets []map[uint64]int
+	// txn flavour
+	vars []*stm.Var[[]uint64]
+}
+
+func newDedupTable(tk *facility.Toolkit) *dedupTable {
+	t := &dedupTable{tk: tk}
+	if tk.Transactional() {
+		t.vars = make([]*stm.Var[[]uint64], dedupBuckets)
+		for i := range t.vars {
+			t.vars[i] = stm.NewVar(tk.Engine, []uint64(nil))
+		}
+	} else {
+		t.mus = make([]syncx.Mutex, dedupBuckets)
+		t.buckets = make([]map[uint64]int, dedupBuckets)
+		for i := range t.buckets {
+			t.buckets[i] = make(map[uint64]int)
+		}
+	}
+	return t
+}
+
+// insertIfAbsent returns true if fp was already present (a racy hit).
+func (t *dedupTable) insertIfAbsent(fp uint64, seq int) bool {
+	b := int(fp % dedupBuckets)
+	if t.tk.Transactional() {
+		hit := false
+		t.tk.Engine.MustAtomic(func(tx *stm.Tx) {
+			hit = false
+			list := stm.Read(tx, t.vars[b])
+			for _, e := range list {
+				if e == fp {
+					hit = true
+					return
+				}
+			}
+			nl := make([]uint64, len(list), len(list)+1)
+			copy(nl, list)
+			stm.Write(tx, t.vars[b], append(nl, fp))
+		})
+		return hit
+	}
+	t.mus[b].Lock()
+	defer t.mus[b].Unlock()
+	if _, ok := t.buckets[b][fp]; ok {
+		return true
+	}
+	t.buckets[b][fp] = seq
+	return false
+}
+
+// Run implements Benchmark.
+func (d *Dedup) Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	tk := cfg.toolkit()
+
+	inputLen := cfg.scaled(1024 * 1024)
+
+	// Synthetic input with heavy repetition (so deduplication bites):
+	// interleave a few repeated motifs with fresh noise.
+	r := newRng(cfg.Seed)
+	motifs := make([][]byte, 6)
+	for i := range motifs {
+		m := make([]byte, 1024+r.intn(1024))
+		for j := range m {
+			m[j] = byte(r.next() % 7 * 37) // runs for the RLE stage
+		}
+		motifs[i] = m
+	}
+	input := make([]byte, 0, inputLen)
+	for len(input) < inputLen {
+		if r.intn(100) < 70 {
+			input = append(input, motifs[r.intn(len(motifs))]...)
+		} else {
+			fresh := make([]byte, 256+r.intn(256))
+			for j := range fresh {
+				fresh[j] = byte(r.next())
+			}
+			input = append(input, fresh...)
+		}
+	}
+	input = input[:inputLen]
+
+	table := newDedupTable(tk)
+	ordered := facility.NewOrdered[*dedupChunk](tk, 64)
+
+	// Output thread: serial, in order. In the TMParsec system every write
+	// is the paper's relaxed transaction — irrevocable, I/O inside,
+	// globally excluding all other transactions while it runs.
+	var outBytes int
+	outHash := uint64(fnvOffset)
+	var tableHits int
+	seenOut := make(map[uint64]bool)
+	writeChunk := func(c *dedupChunk) {
+		var payload []byte
+		if seenOut[c.fp] {
+			payload = []byte{0xD0, byte(c.fp), byte(c.fp >> 8), byte(c.fp >> 16),
+				byte(c.fp >> 24), byte(c.fp >> 32), byte(c.fp >> 40), byte(c.fp >> 48)}
+		} else {
+			seenOut[c.fp] = true
+			payload = c.comp
+		}
+		if c.hit {
+			tableHits++
+		}
+		// The "file write": stream the payload through the output hash.
+		for _, b := range payload {
+			outHash = (outHash ^ uint64(b)) * fnvPrime
+		}
+		outBytes += len(payload)
+	}
+	var outWG sync.WaitGroup
+	outWG.Add(1)
+	go func() {
+		defer outWG.Done()
+		for {
+			c, ok := ordered.Next()
+			if !ok {
+				return
+			}
+			if tk.Transactional() {
+				tk.Engine.AtomicRelaxed(func(tx *stm.Tx) {
+					tx.Syscall() // the file write: a syscall inside the txn
+					writeChunk(c)
+				})
+			} else {
+				writeChunk(c)
+			}
+		}
+	}()
+
+	// Pipeline stages 2-4: refine → deduplicate → compress; the sink
+	// hands chunks to the reorder stage.
+	p := facility.NewPipeline[*dedupChunk](tk, 8).
+		Stage("refine", cfg.Threads, func(c *dedupChunk, emit func(*dedupChunk)) {
+			c.fp = fingerprint(c.data)
+			emit(c)
+		}).
+		Stage("dedup", cfg.Threads, func(c *dedupChunk, emit func(*dedupChunk)) {
+			c.hit = table.insertIfAbsent(c.fp, c.seq)
+			emit(c)
+		}).
+		Stage("compress", cfg.Threads, func(c *dedupChunk, emit func(*dedupChunk)) {
+			c.comp = rleCompress(c.data)
+			emit(c)
+		}).
+		Start(func(c *dedupChunk) { ordered.Put(c.seq, c) })
+
+	// Stage 1, fragment: rolling-hash chunking in the serial feeder
+	// (dedup's anchoring pass), emitting fine chunks with global sequence
+	// numbers.
+	start := time.Now()
+	seq := 0
+	chunkStart := 0
+	roll := uint64(0)
+	for i := 0; i < len(input); i++ {
+		roll = roll*31 + uint64(input[i])
+		size := i - chunkStart + 1
+		if (size >= dedupMinChunk && roll&dedupAnchor == 0) || size >= dedupMaxChunk || i == len(input)-1 {
+			p.Feed(&dedupChunk{seq: seq, data: input[chunkStart : i+1]})
+			seq++
+			chunkStart = i + 1
+		}
+	}
+	p.Drain()
+	ordered.Close()
+	outWG.Wait()
+
+	sum := outHash ^ uint64(outBytes)<<1
+	return Result{Elapsed: time.Since(start), Checksum: sum, Engine: tk.Engine}
+}

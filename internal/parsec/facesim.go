@@ -1,0 +1,147 @@
+package parsec
+
+import (
+	"time"
+
+	"repro/internal/facility"
+)
+
+// facesim: physics simulation of a face mesh. The PARSEC original solves
+// spring-mass dynamics over a tetrahedralized face; condition variables
+// implement its dynamic, load-balanced task queue, onto which the master
+// pushes per-partition work and then waits for completion of each phase.
+//
+// This reproduction simulates a W×H spring-mass sheet ("the face") with
+// Jacobi-style timesteps: phase 1 computes forces from the previous
+// positions, phase 2 integrates — each phase partitioned into tasks,
+// drained by the master through the facility.TaskQueue, exactly the
+// facesim pattern (including uneven task costs, which is what makes the
+// dynamic queue interesting).
+type Facesim struct{}
+
+// NewFacesim returns the facesim benchmark.
+func NewFacesim() *Facesim { return &Facesim{} }
+
+// Name implements Benchmark.
+func (*Facesim) Name() string { return "facesim" }
+
+// Threads implements Benchmark: facesim's input pins the usable thread
+// counts (the paper plots 1,2,3,4,6,8).
+func (*Facesim) Threads(max int) []int {
+	var out []int
+	for _, t := range []int{1, 2, 3, 4, 6, 8} {
+		if t <= max {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Profile implements Benchmark. Our transactionalized facesim is the
+// facility.TaskQueue's six atomic sites; PARSEC's facesim has 9 critical
+// sections of which 2 use condvars (Table 1).
+func (*Facesim) Profile() SyncProfile {
+	return SyncProfile{
+		Name:              "facesim",
+		TotalTransactions: 6, CondVarTxns: 6, CondVarTxnsBarrier: 0,
+		RefactoredConts: 3, RefactoredBarrier: 0,
+		PaperTx: 9, PaperCondVarTx: 2, PaperCondVarTxBarrier: 0,
+		PaperRefactored: 0, PaperRefactoredBarrier: 0,
+	}
+}
+
+// Run implements Benchmark.
+func (f *Facesim) Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	tk := cfg.toolkit()
+
+	w := cfg.scaled(128)
+	h := cfg.scaled(96)
+	frames := cfg.scaled(8)
+	n := w * h
+
+	// Mesh state: position, velocity, force, all double-buffered where
+	// phases read the previous step (Jacobi), so task execution order
+	// cannot change the result.
+	pos := make([]float64, n)
+	vel := make([]float64, n)
+	force := make([]float64, n)
+	rest := make([]float64, n) // rest displacement per node
+	r := newRng(cfg.Seed)
+	for i := range pos {
+		pos[i] = r.float()
+		rest[i] = 0.5 + 0.1*r.float()
+	}
+
+	const (
+		stiffness = 0.8
+		damping   = 0.02
+		dt        = 0.016
+	)
+
+	// Uneven partitioning: facesim's mesh partitions differ in cost; give
+	// task i a cost multiplier so the dynamic queue has real balancing
+	// work to do.
+	chunks := cfg.Threads * 4
+	if chunks > n {
+		chunks = n
+	}
+	csz := (n + chunks - 1) / chunks
+
+	q := facility.NewTaskQueue(tk, cfg.Threads)
+	start := time.Now()
+
+	for frame := 0; frame < frames; frame++ {
+		// Phase 1: forces from previous positions.
+		for c := 0; c < chunks; c++ {
+			lo, hi := c*csz, (c+1)*csz
+			if hi > n {
+				hi = n
+			}
+			extra := (c % 3) + 1 // cost skew
+			q.Submit(func() {
+				for rep := 0; rep < extra; rep++ {
+					for i := lo; i < hi; i++ {
+						left, right, up, down := i, i, i, i
+						if i%w > 0 {
+							left = i - 1
+						}
+						if i%w < w-1 {
+							right = i + 1
+						}
+						if i >= w {
+							up = i - w
+						}
+						if i < n-w {
+							down = i + w
+						}
+						stretch := (pos[left] + pos[right] + pos[up] + pos[down]) - 4*pos[i]
+						force[i] = stiffness*(stretch+rest[i]-pos[i]) - damping*vel[i]
+					}
+				}
+			})
+		}
+		q.Drain()
+		// Phase 2: integrate.
+		for c := 0; c < chunks; c++ {
+			lo, hi := c*csz, (c+1)*csz
+			if hi > n {
+				hi = n
+			}
+			q.Submit(func() {
+				for i := lo; i < hi; i++ {
+					vel[i] += force[i] * dt
+					pos[i] += vel[i] * dt
+				}
+			})
+		}
+		q.Drain()
+	}
+	q.Close()
+
+	sum := uint64(0)
+	for i := range pos {
+		sum += quant(pos[i])
+	}
+	return Result{Elapsed: time.Since(start), Checksum: sum, Engine: tk.Engine}
+}

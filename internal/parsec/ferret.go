@@ -1,0 +1,150 @@
+package parsec
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/facility"
+)
+
+// ferret: content-based similarity search. PARSEC's ferret pushes images
+// through a 6-stage pipeline (load, segment, extract, vector, rank, out),
+// each middle stage with a thread pool and a job queue — the archetypal
+// pipelined multi-producer/multi-consumer condvar workload.
+//
+// This reproduction keeps the six stages: the master loads synthetic
+// "images" (deterministic pixel blocks), the segment stage computes region
+// statistics, extract derives a feature vector, vector normalizes it,
+// rank does a nearest-neighbour scan against a read-only database, and
+// the out stage (the sink) folds results into an order-independent
+// checksum.
+type Ferret struct{}
+
+// NewFerret returns the ferret benchmark.
+func NewFerret() *Ferret { return &Ferret{} }
+
+// Name implements Benchmark.
+func (*Ferret) Name() string { return "ferret" }
+
+// Threads implements Benchmark.
+func (*Ferret) Threads(max int) []int { return defaultThreads(max) }
+
+// Profile implements Benchmark. The transactional configuration is the
+// facility queue's three sites; PARSEC's ferret has 3 critical sections,
+// 2 with condvars, 2 refactored (Table 1).
+func (*Ferret) Profile() SyncProfile {
+	return SyncProfile{
+		Name:              "ferret",
+		TotalTransactions: 3, CondVarTxns: 3, CondVarTxnsBarrier: 0,
+		RefactoredConts: 2, RefactoredBarrier: 0,
+		PaperTx: 3, PaperCondVarTx: 2, PaperCondVarTxBarrier: 0,
+		PaperRefactored: 2, PaperRefactoredBarrier: 0,
+	}
+}
+
+const (
+	ferretPixels = 1024 // pixels per synthetic image
+	ferretDims   = 32   // feature dimensions
+	ferretDBBase = 384  // database size at scale 1.0
+)
+
+type ferretItem struct {
+	id    int
+	pix   []uint64  // raw "image"
+	segs  []float64 // segment statistics
+	feat  []float64 // feature vector
+	best  int       // nearest database entry
+	score float64
+}
+
+// Run implements Benchmark.
+func (f *Ferret) Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	tk := cfg.toolkit()
+
+	images := cfg.scaled(96)
+	dbSize := cfg.scaled(ferretDBBase)
+
+	// Read-only feature database, shared by the rank stage.
+	r := newRng(cfg.Seed)
+	db := make([][]float64, dbSize)
+	for i := range db {
+		db[i] = make([]float64, ferretDims)
+		for d := range db[i] {
+			db[i][d] = r.float()
+		}
+	}
+
+	var checksum atomic.Uint64
+	p := facility.NewPipeline[*ferretItem](tk, 8).
+		Stage("segment", cfg.Threads, func(it *ferretItem, emit func(*ferretItem)) {
+			// Region statistics over 4 bands of the image.
+			it.segs = make([]float64, 4)
+			band := len(it.pix) / 4
+			for b := 0; b < 4; b++ {
+				s := 0.0
+				for i := b * band; i < (b+1)*band; i++ {
+					s += float64(it.pix[i] % 4096)
+				}
+				it.segs[b] = s / float64(band)
+			}
+			emit(it)
+		}).
+		Stage("extract", cfg.Threads, func(it *ferretItem, emit func(*ferretItem)) {
+			it.feat = make([]float64, ferretDims)
+			for d := 0; d < ferretDims; d++ {
+				acc := 0.0
+				for i := d; i < len(it.pix); i += ferretDims {
+					acc += float64(it.pix[i]%257) * it.segs[d%4]
+				}
+				it.feat[d] = acc
+			}
+			emit(it)
+		}).
+		Stage("vector", cfg.Threads, func(it *ferretItem, emit func(*ferretItem)) {
+			norm := 0.0
+			for _, v := range it.feat {
+				norm += v * v
+			}
+			if norm == 0 {
+				norm = 1
+			}
+			for d := range it.feat {
+				it.feat[d] /= norm
+			}
+			emit(it)
+		}).
+		Stage("rank", cfg.Threads, func(it *ferretItem, emit func(*ferretItem)) {
+			best, bestD := -1, 0.0
+			for i := range db {
+				d := 0.0
+				for k := 0; k < ferretDims; k++ {
+					diff := it.feat[k]*1e6 - db[i][k]
+					d += diff * diff
+				}
+				if best < 0 || d < bestD {
+					best, bestD = i, d
+				}
+			}
+			it.best, it.score = best, bestD
+			emit(it)
+		}).
+		Start(func(it *ferretItem) {
+			// out: order-independent fold.
+			checksum.Add(uint64(it.id*31+it.best+1) + quant(it.score))
+		})
+
+	start := time.Now()
+	// load stage: the master generates images deterministically.
+	gen := newRng(cfg.Seed ^ 0xFE44E7)
+	for i := 0; i < images; i++ {
+		it := &ferretItem{id: i, pix: make([]uint64, ferretPixels)}
+		for px := range it.pix {
+			it.pix[px] = gen.next()
+		}
+		p.Feed(it)
+	}
+	p.Drain()
+
+	return Result{Elapsed: time.Since(start), Checksum: checksum.Load(), Engine: tk.Engine}
+}

@@ -1,0 +1,131 @@
+package parsec
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/facility"
+)
+
+// fluidanimate: smoothed-particle-hydrodynamics fluid simulation. PARSEC's
+// fluidanimate uses condition variables for exactly one thing — a barrier
+// (in place of pthread_barrier) between the phases of each timestep — and
+// that is what the paper measures.
+//
+// This reproduction simulates particles on a 1-D cell grid with the
+// classic three phases per step: density from neighbouring cells, forces
+// from densities, then advection — workers own static partitions and meet
+// at the condvar barrier between phases, like the original.
+type Fluidanimate struct{}
+
+// NewFluidanimate returns the fluidanimate benchmark.
+func NewFluidanimate() *Fluidanimate { return &Fluidanimate{} }
+
+// Name implements Benchmark.
+func (*Fluidanimate) Name() string { return "fluidanimate" }
+
+// Threads implements Benchmark: the original only runs with a power-of-2
+// thread count (Section 5.2).
+func (*Fluidanimate) Threads(max int) []int { return pow2Threads(max) }
+
+// Profile implements Benchmark. The transactional configuration is the
+// facility barrier's two sites, both barrier condvar sites; PARSEC's
+// fluidanimate has 9 critical sections, 2 with condvars (both barrier),
+// 2 refactored (both barrier) — Table 1.
+func (*Fluidanimate) Profile() SyncProfile {
+	return SyncProfile{
+		Name:              "fluidanimate",
+		TotalTransactions: 2, CondVarTxns: 2, CondVarTxnsBarrier: 2,
+		RefactoredConts: 1, RefactoredBarrier: 1,
+		PaperTx: 9, PaperCondVarTx: 2, PaperCondVarTxBarrier: 2,
+		PaperRefactored: 2, PaperRefactoredBarrier: 2,
+	}
+}
+
+// Run implements Benchmark.
+func (f *Fluidanimate) Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	tk := cfg.toolkit()
+
+	cells := cfg.scaled(16384)
+	steps := cfg.scaled(20)
+
+	density := make([]float64, cells)
+	newDensity := make([]float64, cells)
+	force := make([]float64, cells)
+	mass := make([]float64, cells)
+	r := newRng(cfg.Seed)
+	for i := range mass {
+		mass[i] = 0.5 + r.float()
+		density[i] = mass[i]
+	}
+
+	parties := cfg.Threads
+	bar := facility.NewBarrier(tk, parties)
+	per := (cells + parties - 1) / parties
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < parties; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > cells {
+			hi = cells
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := 0; s < steps; s++ {
+				// Phase 1: density from the SPH smoothing kernel over
+				// neighbours (the quartic poly6-style weight is what
+				// makes fluidanimate compute-heavy per cell).
+				for i := lo; i < hi; i++ {
+					l, rr := i, i
+					if i > 0 {
+						l = i - 1
+					}
+					if i < cells-1 {
+						rr = i + 1
+					}
+					d := 0.25*density[l] + 0.5*density[i] + 0.25*density[rr]
+					w := 1.0 - 0.01*d
+					w2 := w * w
+					newDensity[i] = d * (0.6 + 0.4*w2*w2*(3-2*w2))
+				}
+				bar.Arrive()
+				// Phase 2: pressure/viscosity forces from the density
+				// gradient (Newton-refined inverse square root, as the
+				// original's vector normalizations do).
+				for i := lo; i < hi; i++ {
+					l, rr := i, i
+					if i > 0 {
+						l = i - 1
+					}
+					if i < cells-1 {
+						rr = i + 1
+					}
+					grad := newDensity[l] - newDensity[rr]
+					q := 1.0 + grad*grad
+					inv := 1.0
+					for it := 0; it < 6; it++ {
+						inv = inv * (1.5 - 0.5*q*inv*inv)
+					}
+					force[i] = grad * mass[i] * inv
+				}
+				bar.Arrive()
+				// Phase 3: advect (update density from force).
+				for i := lo; i < hi; i++ {
+					density[i] = newDensity[i] + 0.1*force[i]
+				}
+				bar.Arrive()
+			}
+		}()
+	}
+	wg.Wait()
+
+	sum := uint64(0)
+	for i := range density {
+		sum += quant(density[i])
+	}
+	return Result{Elapsed: time.Since(start), Checksum: sum, Engine: tk.Engine}
+}

@@ -1,0 +1,137 @@
+package parsec
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/facility"
+)
+
+// raytrace: real-time raytracing of an animated scene. PARSEC's raytrace
+// (Intel RTView) renders frames by pushing screen tiles through a
+// multi-threaded task queue built on condition variables.
+//
+// This reproduction renders a small sphere scene with a pinhole camera:
+// per frame, the master submits one task per tile to facility.TaskQueue
+// and drains it; workers trace primary rays (sphere intersection + Lambert
+// shading) into their tile of the framebuffer. The scene animates between
+// frames, so every frame re-renders.
+type Raytrace struct{}
+
+// NewRaytrace returns the raytrace benchmark.
+func NewRaytrace() *Raytrace { return &Raytrace{} }
+
+// Name implements Benchmark.
+func (*Raytrace) Name() string { return "raytrace" }
+
+// Threads implements Benchmark.
+func (*Raytrace) Threads(max int) []int { return defaultThreads(max) }
+
+// Profile implements Benchmark. Facility task queue (6 sites, 3
+// refactored waits). PARSEC's raytrace: 14 critical sections, 4 condvar
+// (1 barrier), 0 refactored — Table 1.
+func (*Raytrace) Profile() SyncProfile {
+	return SyncProfile{
+		Name:              "raytrace",
+		TotalTransactions: 6, CondVarTxns: 6, CondVarTxnsBarrier: 0,
+		RefactoredConts: 3, RefactoredBarrier: 0,
+		PaperTx: 14, PaperCondVarTx: 4, PaperCondVarTxBarrier: 1,
+		PaperRefactored: 0, PaperRefactoredBarrier: 0,
+	}
+}
+
+type rtSphere struct {
+	cx, cy, cz, r float64
+	albedo        float64
+}
+
+// Run implements Benchmark.
+func (rt *Raytrace) Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	tk := cfg.toolkit()
+
+	width := cfg.scaled(256)
+	height := cfg.scaled(192)
+	frames := cfg.scaled(5)
+	const tile = 16
+
+	rg := newRng(cfg.Seed)
+	spheres := make([]rtSphere, 6)
+	for i := range spheres {
+		spheres[i] = rtSphere{
+			cx: 2*rg.float() - 1, cy: 2*rg.float() - 1, cz: 2 + 2*rg.float(),
+			r: 0.2 + 0.3*rg.float(), albedo: 0.3 + 0.7*rg.float(),
+		}
+	}
+
+	fb := make([]float64, width*height)
+	q := facility.NewTaskQueue(tk, cfg.Threads)
+
+	trace := func(ox, oy float64, scene []rtSphere) float64 {
+		// Primary ray from the origin through the image plane at z=1.
+		dx, dy, dz := ox, oy, 1.0
+		n := math.Sqrt(dx*dx + dy*dy + dz*dz)
+		dx, dy, dz = dx/n, dy/n, dz/n
+		bestT, bestI := math.Inf(1), -1
+		for i := range scene {
+			s := &scene[i]
+			// |o + t d - c|^2 = r^2 with o = 0.
+			b := dx*s.cx + dy*s.cy + dz*s.cz
+			c := s.cx*s.cx + s.cy*s.cy + s.cz*s.cz - s.r*s.r
+			disc := b*b - c
+			if disc < 0 {
+				continue
+			}
+			t := b - math.Sqrt(disc)
+			if t > 1e-6 && t < bestT {
+				bestT, bestI = t, i
+			}
+		}
+		if bestI < 0 {
+			return 0.05 // background
+		}
+		s := &scene[bestI]
+		hx, hy, hz := dx*bestT, dy*bestT, dz*bestT
+		nx, ny, nz := (hx-s.cx)/s.r, (hy-s.cy)/s.r, (hz-s.cz)/s.r
+		// Lambert against a fixed light direction.
+		l := nx*0.577 - ny*0.577 - nz*0.577
+		if l < 0 {
+			l = 0
+		}
+		return 0.1 + s.albedo*l
+	}
+
+	start := time.Now()
+	for f := 0; f < frames; f++ {
+		// Animate: orbit the spheres deterministically.
+		scene := make([]rtSphere, len(spheres))
+		copy(scene, spheres)
+		for i := range scene {
+			ang := float64(f)/7 + float64(i)
+			scene[i].cx += 0.2 * math.Sin(ang)
+			scene[i].cy += 0.2 * math.Cos(ang)
+		}
+		for ty := 0; ty < height; ty += tile {
+			for tx := 0; tx < width; tx += tile {
+				lo, to := tx, ty
+				q.Submit(func() {
+					for y := to; y < to+tile && y < height; y++ {
+						for x := lo; x < lo+tile && x < width; x++ {
+							ox := (float64(x)/float64(width) - 0.5) * 1.6
+							oy := (float64(y)/float64(height) - 0.5) * 1.2
+							fb[y*width+x] = trace(ox, oy, scene)
+						}
+					}
+				})
+			}
+		}
+		q.Drain()
+	}
+	q.Close()
+
+	sum := uint64(0)
+	for i := range fb {
+		sum += quant(fb[i])
+	}
+	return Result{Elapsed: time.Since(start), Checksum: sum, Engine: tk.Engine}
+}

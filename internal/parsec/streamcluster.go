@@ -1,0 +1,143 @@
+package parsec
+
+import (
+	"time"
+
+	"repro/internal/facility"
+)
+
+// streamcluster: online k-median clustering of a point stream. PARSEC's
+// streamcluster uses condition variables twice: a barrier between the
+// phases of the parallel gain computation, and a master/slaves pattern in
+// which the master distributes work to a persistent worker group and
+// collects their results.
+//
+// This reproduction streams blocks of points; for each block the master
+// dispatches a two-phase job to a persistent facility.Pool (master/slave
+// condvar pattern): phase 1 assigns each point in the worker's partition
+// to its nearest center, workers meet at a facility.Barrier, and phase 2
+// reduces per-worker cost and a candidate for a new center. The master
+// opens a new center whenever the block's cost exceeds a threshold.
+type Streamcluster struct{}
+
+// NewStreamcluster returns the streamcluster benchmark.
+func NewStreamcluster() *Streamcluster { return &Streamcluster{} }
+
+// Name implements Benchmark.
+func (*Streamcluster) Name() string { return "streamcluster" }
+
+// Threads implements Benchmark.
+func (*Streamcluster) Threads(max int) []int { return defaultThreads(max) }
+
+// Profile implements Benchmark. Facility pool (5 sites) + barrier (2,
+// both barrier condvar sites). PARSEC's streamcluster: 7 critical
+// sections, 3 condvar (2 barrier), 2 refactored (2 barrier) — Table 1.
+func (*Streamcluster) Profile() SyncProfile {
+	return SyncProfile{
+		Name:              "streamcluster",
+		TotalTransactions: 7, CondVarTxns: 7, CondVarTxnsBarrier: 2,
+		RefactoredConts: 3, RefactoredBarrier: 1,
+		PaperTx: 7, PaperCondVarTx: 3, PaperCondVarTxBarrier: 2,
+		PaperRefactored: 2, PaperRefactoredBarrier: 2,
+	}
+}
+
+const scDims = 8
+
+// Run implements Benchmark.
+func (s *Streamcluster) Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	tk := cfg.toolkit()
+
+	blockSize := cfg.scaled(2048)
+	blocks := cfg.scaled(8)
+
+	r := newRng(cfg.Seed)
+	points := make([][scDims]float64, blockSize)
+	centers := make([][scDims]float64, 0, 64)
+	var first [scDims]float64
+	for d := 0; d < scDims; d++ {
+		first[d] = r.float()
+	}
+	centers = append(centers, first)
+
+	parties := cfg.Threads
+	pool := facility.NewPool(tk, parties)
+	bar := facility.NewBarrier(tk, parties)
+	per := (blockSize + parties - 1) / parties
+
+	nearest := make([]int, blockSize)
+	workerCost := make([]float64, parties)
+	workerArg := make([]int, parties) // candidate new center per worker
+	workerMax := make([]float64, parties)
+
+	start := time.Now()
+	totalCost := 0.0
+	for b := 0; b < blocks; b++ {
+		// Stream in the next block (deterministic).
+		for i := range points {
+			for d := 0; d < scDims; d++ {
+				points[i][d] = r.float() + float64(b%3)
+			}
+		}
+		snapshot := make([][scDims]float64, len(centers))
+		copy(snapshot, centers)
+
+		pool.Run(func(w int) {
+			lo := w * per
+			hi := lo + per
+			if hi > blockSize {
+				hi = blockSize
+			}
+			// Phase 1: nearest-center assignment.
+			for i := lo; i < hi; i++ {
+				best, bestD := 0, distSq(&points[i], &snapshot[0])
+				for c := 1; c < len(snapshot); c++ {
+					if d := distSq(&points[i], &snapshot[c]); d < bestD {
+						best, bestD = c, d
+					}
+				}
+				nearest[i] = best
+			}
+			bar.Arrive()
+			// Phase 2: per-worker cost reduction and open-candidate.
+			cost, argMax, maxD := 0.0, -1, -1.0
+			for i := lo; i < hi; i++ {
+				d := distSq(&points[i], &snapshot[nearest[i]])
+				cost += d
+				if d > maxD {
+					argMax, maxD = i, d
+				}
+			}
+			workerCost[w] = cost
+			workerArg[w] = argMax
+			workerMax[w] = maxD
+		})
+
+		// Master: deterministic reduction in worker order.
+		blockCost, openIdx, openMax := 0.0, -1, -1.0
+		for w := 0; w < parties; w++ {
+			blockCost += workerCost[w]
+			if workerArg[w] >= 0 && workerMax[w] > openMax {
+				openIdx, openMax = workerArg[w], workerMax[w]
+			}
+		}
+		totalCost += blockCost
+		if blockCost > float64(blockSize)/4 && openIdx >= 0 && len(centers) < cap(centers) {
+			centers = append(centers, points[openIdx])
+		}
+	}
+	pool.Close()
+
+	sum := quant(totalCost) + uint64(len(centers))<<32
+	return Result{Elapsed: time.Since(start), Checksum: sum, Engine: tk.Engine}
+}
+
+func distSq(a, b *[scDims]float64) float64 {
+	d := 0.0
+	for k := 0; k < scDims; k++ {
+		diff := a[k] - b[k]
+		d += diff * diff
+	}
+	return d
+}

@@ -1,0 +1,173 @@
+package parsec
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/facility"
+	"repro/internal/stm"
+	"repro/internal/syncx"
+)
+
+// x264: H.264 video encoding with frame-level parallelism. Each thread
+// encodes one frame at a time; because motion estimation for frame f
+// searches a window of rows in reference frame f-1, an encoder must wait
+// until its reference has progressed far enough — PARSEC's x264 does this
+// with a per-frame progress counter and a condition variable
+// (x264_frame_cond_wait / broadcast), reproduced by facility.FrameSync.
+//
+// This reproduction encodes synthetic frames row by row: each row's cost
+// is a motion-search over the reference frame's window plus a DCT-like
+// transform, and row completion is published to FrameSync. A shared
+// next-frame counter (mutex-protected in the lock systems, a transaction
+// in TMParsec) hands frames to encoder threads dynamically.
+type X264 struct{}
+
+// NewX264 returns the x264 benchmark.
+func NewX264() *X264 { return &X264{} }
+
+// Name implements Benchmark.
+func (*X264) Name() string { return "x264" }
+
+// Threads implements Benchmark.
+func (*X264) Threads(max int) []int { return defaultThreads(max) }
+
+// Profile implements Benchmark. FrameSync (2 sites, 1 refactored wait) +
+// the next-frame counter transaction. PARSEC's x264: 4 critical sections,
+// 1 condvar, 0 refactored — Table 1.
+func (*X264) Profile() SyncProfile {
+	return SyncProfile{
+		Name:              "x264",
+		TotalTransactions: 3, CondVarTxns: 2, CondVarTxnsBarrier: 0,
+		RefactoredConts: 1, RefactoredBarrier: 0,
+		PaperTx: 4, PaperCondVarTx: 1, PaperCondVarTxBarrier: 0,
+		PaperRefactored: 0, PaperRefactoredBarrier: 0,
+	}
+}
+
+const (
+	x264SearchRange = 3   // rows of the reference needed ahead
+	x264Cols        = 160 // macroblock columns per row
+)
+
+// Run implements Benchmark.
+func (x *X264) Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	tk := cfg.toolkit()
+
+	frames := cfg.scaled(32)
+	rows := cfg.scaled(40)
+
+	fs := facility.NewFrameSync(tk, frames)
+	costs := make([][]uint64, frames)
+	for f := range costs {
+		costs[f] = make([]uint64, rows)
+	}
+
+	// Dynamic next-frame dispenser: an application-level critical
+	// section (mutex, or a transaction in the TMParsec system).
+	var nextMu syncx.Mutex
+	nextFrame := 0
+	var nextVar *stm.Var[int]
+	if tk.Transactional() {
+		nextVar = stm.NewVar(tk.Engine, 0)
+	}
+	takeFrame := func() int {
+		if tk.Transactional() {
+			got := 0
+			tk.Engine.MustAtomic(func(tx *stm.Tx) {
+				got = stm.Read(tx, nextVar)
+				if got < frames {
+					stm.Write(tx, nextVar, got+1)
+				}
+			})
+			if got >= frames {
+				return -1
+			}
+			return got
+		}
+		nextMu.Lock()
+		defer nextMu.Unlock()
+		if nextFrame >= frames {
+			return -1
+		}
+		f := nextFrame
+		nextFrame++
+		return f
+	}
+
+	// pixel is the deterministic synthetic video: luma of (frame, row,
+	// col).
+	pixel := func(f, r, c int) uint64 {
+		return mix64(cfg.Seed + uint64(f)*1_000_003 + uint64(r)*4099 + uint64(c))
+	}
+
+	encodeRow := func(f, r int) uint64 {
+		var rowCost uint64
+		for c := 0; c < x264Cols; c++ {
+			cur := pixel(f, r, c) % 256
+			best := uint64(1 << 62)
+			if f == 0 {
+				best = cur * cur
+			} else {
+				// Motion search over the reference window.
+				for dr := -x264SearchRange; dr <= x264SearchRange; dr++ {
+					rr := r + dr
+					if rr < 0 || rr >= rows {
+						continue
+					}
+					for dc := -2; dc <= 2; dc++ {
+						cc := c + dc
+						if cc < 0 || cc >= x264Cols {
+							continue
+						}
+						ref := pixel(f-1, rr, cc) % 256
+						diff := int64(cur) - int64(ref)
+						sad := uint64(diff * diff)
+						if sad < best {
+							best = sad
+						}
+					}
+				}
+			}
+			// DCT-ish mixing of the residual.
+			rowCost += mix64(best+uint64(c)) % 65536
+		}
+		return rowCost
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 0; t < cfg.Threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				f := takeFrame()
+				if f < 0 {
+					return
+				}
+				for r := 0; r < rows; r++ {
+					if f > 0 {
+						need := r + x264SearchRange
+						if need > rows {
+							need = rows
+						}
+						fs.WaitFor(f-1, need)
+					}
+					costs[f][r] = encodeRow(f, r)
+					fs.Publish(f, r+1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	sum := uint64(0)
+	for f := range costs {
+		for r := range costs[f] {
+			sum += costs[f][r]
+		}
+	}
+	return Result{Elapsed: time.Since(start), Checksum: sum, Engine: tk.Engine}
+}

@@ -1,0 +1,124 @@
+package pthreadcv
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/syncx"
+)
+
+func TestBroadcastThenWaitBlocks(t *testing.T) {
+	// A broadcast leaves no residue: waiters arriving after it block.
+	c := New(nil)
+	var m syncx.Mutex
+	c.Broadcast()
+	woke := make(chan struct{})
+	go func() {
+		m.Lock()
+		c.Wait(&m)
+		m.Unlock()
+		close(woke)
+	}()
+	select {
+	case <-woke:
+		t.Fatal("late waiter consumed a stale broadcast")
+	case <-time.After(30 * time.Millisecond):
+	}
+	c.Signal()
+	<-woke
+}
+
+func TestWaitersCount(t *testing.T) {
+	c := New(nil)
+	var m syncx.Mutex
+	const n = 4
+	for i := 0; i < n; i++ {
+		go func() {
+			m.Lock()
+			c.Wait(&m)
+			m.Unlock()
+		}()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Waiters() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("Waiters = %d, want %d", c.Waiters(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Broadcast()
+	for c.Waiters() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("Waiters = %d after broadcast", c.Waiters())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestHeavySpuriousStormBalance(t *testing.T) {
+	// Under a 100% spurious-injection storm with concurrent signals, the
+	// number of Wait returns must equal the number of Wait calls (each
+	// call returns exactly once, never hangs, never double-returns).
+	inj := NewSpuriousInjector(1.0, 1234)
+	inj.MaxDelay = 100 * time.Microsecond
+	var st Stats
+	c := New(inj)
+	c.SetStats(&st)
+	var m syncx.Mutex
+	const waits = 300
+	var returned atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < waits; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Lock()
+			c.Wait(&m)
+			m.Unlock()
+			returned.Add(1)
+		}()
+	}
+	// Pepper in real signals racing the injected timeouts.
+	for i := 0; i < waits/2; i++ {
+		c.Signal()
+		time.Sleep(20 * time.Microsecond)
+	}
+	wg.Wait()
+	if got := returned.Load(); got != waits {
+		t.Fatalf("returned = %d, want %d", got, waits)
+	}
+	if st.Waits.Load() != waits {
+		t.Fatalf("stats Waits = %d, want %d", st.Waits.Load(), waits)
+	}
+	if st.SpuriousWakes.Load() == 0 {
+		t.Fatal("storm produced no spurious wakes")
+	}
+}
+
+func TestStatsSignalsAndBroadcasts(t *testing.T) {
+	var st Stats
+	c := New(nil)
+	c.SetStats(&st)
+	var m syncx.Mutex
+	done := make(chan struct{})
+	go func() {
+		m.Lock()
+		c.Wait(&m)
+		m.Unlock()
+		close(done)
+	}()
+	for c.Waiters() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	c.Signal()
+	<-done
+	c.Broadcast() // empty
+	if st.Signals.Load() != 1 {
+		t.Fatalf("Signals = %d", st.Signals.Load())
+	}
+	if st.EmptySignals.Load() != 1 {
+		t.Fatalf("EmptySignals = %d", st.EmptySignals.Load())
+	}
+}

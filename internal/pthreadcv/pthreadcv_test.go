@@ -1,0 +1,305 @@
+package pthreadcv
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/syncx"
+)
+
+// boundedBuf is the canonical condvar client used across tests.
+type boundedBuf struct {
+	mu       syncx.Mutex
+	notEmpty *Cond
+	notFull  *Cond
+	buf      []int
+	cap      int
+}
+
+func newBuf(capacity int, inj *SpuriousInjector) *boundedBuf {
+	return &boundedBuf{notEmpty: New(inj), notFull: New(inj), cap: capacity}
+}
+
+func (b *boundedBuf) put(x int) {
+	b.mu.Lock()
+	for len(b.buf) == b.cap {
+		b.notFull.Wait(&b.mu)
+	}
+	b.buf = append(b.buf, x)
+	b.notEmpty.Signal()
+	b.mu.Unlock()
+}
+
+func (b *boundedBuf) get() int {
+	b.mu.Lock()
+	for len(b.buf) == 0 {
+		b.notEmpty.Wait(&b.mu)
+	}
+	x := b.buf[0]
+	b.buf = b.buf[1:]
+	b.notFull.Signal()
+	b.mu.Unlock()
+	return x
+}
+
+func TestSignalWakesOneWaiter(t *testing.T) {
+	c := New(nil)
+	var m syncx.Mutex
+	woke := make(chan struct{})
+	m.Lock()
+	go func() {
+		m.Lock()
+		c.Wait(&m)
+		m.Unlock()
+		close(woke)
+	}()
+	m.Unlock()
+	for c.Waiters() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	c.Signal()
+	select {
+	case <-woke:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never woke")
+	}
+}
+
+func TestSignalWithNoWaiterIsLost(t *testing.T) {
+	var st Stats
+	c := New(nil)
+	c.SetStats(&st)
+	c.Signal() // Mesa: lost
+	if st.EmptySignals.Load() != 1 {
+		t.Fatalf("EmptySignals = %d, want 1", st.EmptySignals.Load())
+	}
+	// A subsequent Wait must block (the signal was not memorized).
+	var m syncx.Mutex
+	woke := make(chan struct{})
+	go func() {
+		m.Lock()
+		c.Wait(&m)
+		m.Unlock()
+		close(woke)
+	}()
+	select {
+	case <-woke:
+		t.Fatal("Wait returned from a lost signal")
+	case <-time.After(30 * time.Millisecond):
+	}
+	c.Signal()
+	<-woke
+}
+
+func TestBroadcastWakesAll(t *testing.T) {
+	c := New(nil)
+	var m syncx.Mutex
+	const n = 6
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Lock()
+			c.Wait(&m)
+			m.Unlock()
+		}()
+	}
+	for c.Waiters() != n {
+		time.Sleep(time.Millisecond)
+	}
+	c.Broadcast()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("broadcast left waiters parked (%d remain)", c.Waiters())
+	}
+}
+
+func TestFIFOWakeOrder(t *testing.T) {
+	c := New(nil)
+	var m syncx.Mutex
+	order := make(chan int, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		go func() {
+			m.Lock()
+			c.Wait(&m)
+			m.Unlock()
+			order <- i
+		}()
+		for c.Waiters() != i+1 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		c.Signal()
+		if got := <-order; got != i {
+			t.Fatalf("wake %d was goroutine %d", i, got)
+		}
+	}
+}
+
+func TestProducerConsumer(t *testing.T) {
+	b := newBuf(4, nil)
+	const items = 2000
+	var sum int64
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= items; i++ {
+			b.put(i)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < items; i++ {
+			sum += int64(b.get())
+		}
+	}()
+	wg.Wait()
+	if want := int64(items) * (items + 1) / 2; sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestMultiProducerMultiConsumer(t *testing.T) {
+	b := newBuf(8, nil)
+	const producers, consumers, per = 3, 3, 500
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	got := make(map[int]bool)
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				b.put(p*per + i)
+			}
+		}()
+	}
+	for cns := 0; cns < consumers; cns++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				x := b.get()
+				mu.Lock()
+				if got[x] {
+					t.Errorf("duplicate item %d", x)
+				}
+				got[x] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(got) != producers*per {
+		t.Fatalf("received %d distinct items, want %d", len(got), producers*per)
+	}
+}
+
+func TestSpuriousInjectionObserved(t *testing.T) {
+	var st Stats
+	inj := NewSpuriousInjector(1.0, 42) // every wait is interrupted
+	inj.MaxDelay = 100 * time.Microsecond
+	c := New(inj)
+	c.SetStats(&st)
+	var m syncx.Mutex
+	// No signaler at all: with injection, Wait must still return.
+	done := make(chan struct{})
+	go func() {
+		m.Lock()
+		c.Wait(&m)
+		m.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("injected spurious wake-up never happened")
+	}
+	if st.SpuriousWakes.Load() != 1 {
+		t.Fatalf("SpuriousWakes = %d, want 1", st.SpuriousWakes.Load())
+	}
+}
+
+func TestPredicateLoopSurvivesSpuriousWakeups(t *testing.T) {
+	// The defensive while-loop pattern must keep the bounded buffer
+	// correct even with heavy spurious injection.
+	inj := NewSpuriousInjector(0.5, 7)
+	inj.MaxDelay = 50 * time.Microsecond
+	b := newBuf(2, inj)
+	const items = 400
+	var sum int64
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= items; i++ {
+			b.put(i)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < items; i++ {
+			sum += int64(b.get())
+		}
+	}()
+	wg.Wait()
+	if want := int64(items) * (items + 1) / 2; sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestSpuriousSignalRaceLosesNothing(t *testing.T) {
+	// Hammer the race between an injected timeout and a real Signal: every
+	// signal must wake exactly one waiter overall.
+	inj := NewSpuriousInjector(1.0, 99)
+	inj.MaxDelay = 20 * time.Microsecond
+	c := New(inj)
+	var m syncx.Mutex
+	for i := 0; i < 300; i++ {
+		done := make(chan struct{})
+		go func() {
+			m.Lock()
+			c.Wait(&m)
+			m.Unlock()
+			close(done)
+		}()
+		time.Sleep(time.Duration(i%3) * 10 * time.Microsecond)
+		c.Signal()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("iter %d: waiter lost", i)
+		}
+	}
+}
+
+func TestInjectorRateZeroNeverFires(t *testing.T) {
+	inj := NewSpuriousInjector(0, 1)
+	for i := 0; i < 1000; i++ {
+		if fire, _ := inj.roll(); fire {
+			t.Fatal("rate-0 injector fired")
+		}
+	}
+}
+
+func TestInjectorRateOneAlwaysFires(t *testing.T) {
+	inj := NewSpuriousInjector(1.0, 1)
+	for i := 0; i < 1000; i++ {
+		fire, d := inj.roll()
+		if !fire {
+			t.Fatal("rate-1 injector did not fire")
+		}
+		if d <= 0 || d > inj.MaxDelay {
+			t.Fatalf("delay %v out of range", d)
+		}
+	}
+}

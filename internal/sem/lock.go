@@ -1,0 +1,16 @@
+package sem
+
+import "sync"
+
+// mutex guards the semaphore's tiny critical sections (a handful of
+// pointer updates). The paper assumes the OS supplies a low-level mutual
+// exclusion primitive underneath sem_t; Go's runtime-futex-backed
+// sync.Mutex plays that role here. Everything with interesting semantics
+// (counting, FIFO hand-off, timeout unlinking) is implemented above it in
+// this package.
+type mutex struct {
+	sync.Mutex
+}
+
+func (m *mutex) lock()   { m.Lock() }
+func (m *mutex) unlock() { m.Unlock() }

@@ -1,0 +1,260 @@
+// Package sem implements counting semaphores in user space.
+//
+// The paper ("Transaction-Friendly Condition Variables", SPAA 2014)
+// represents each condition variable as a transactional queue of
+// per-thread counting semaphores (its Algorithm 3 uses POSIX sem_t).
+// This package is the Go substrate for that role: a from-scratch
+// counting semaphore with the two properties the condition-variable
+// algorithm depends on:
+//
+//  1. Memory: a Post that happens before the matching Wait is never
+//     lost — Wait consumes the permit and returns immediately. This is
+//     what makes the condvar's WAIT immune to the "missed notify" race:
+//     the waiter enqueues itself and completes its sync block *before*
+//     sleeping; if a notifier runs in that window, its SemPost is
+//     memorized by the semaphore.
+//  2. Direct hand-off: Post transfers a permit to the longest-waiting
+//     sleeper if one exists, rather than bumping a counter that any
+//     barging thread could steal. Combined with the condvar's queue this
+//     yields the deterministic wake-up semantics of Section 3.4.
+//
+// Waiters are descheduled (parked on a channel) rather than spinning, so
+// the "Yielding" requirement of Section 3.4 holds even with heavy
+// oversubscription of goroutines over OS threads.
+package sem
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Stats aggregates semaphore activity. All fields are atomic counters and
+// may be read while the semaphore is in use.
+type Stats struct {
+	Posts     stats.Counter // total successful Post operations
+	Waits     stats.Counter // total completed Wait/TryWait-success operations
+	FastWaits stats.Counter // Waits satisfied without blocking
+	Blocks    stats.Counter // Waits that had to deschedule the caller
+	Timeouts  stats.Counter // WaitTimeout expirations
+}
+
+// waiter is one parked goroutine. The channel has capacity 1 so that a
+// poster never blocks handing over a permit.
+type waiter struct {
+	ch   chan struct{}
+	next *waiter
+}
+
+// Sem is a counting semaphore. The zero value is a semaphore with zero
+// permits; use New to start with an initial count.
+//
+// Sem must not be copied after first use.
+type Sem struct {
+	mu mutex // tiny spinlock-free mutex; see lock.go
+
+	// count is the number of available permits. Invariant: count > 0
+	// implies the waiter list is empty (permits are handed to waiters
+	// eagerly by Post).
+	count int64
+
+	// FIFO list of parked waiters.
+	head, tail *waiter
+
+	st *Stats
+}
+
+// New returns a semaphore holding n initial permits. n must be >= 0.
+func New(n int64) *Sem {
+	if n < 0 {
+		panic(fmt.Sprintf("sem: negative initial count %d", n))
+	}
+	return &Sem{count: n}
+}
+
+// NewBinary returns a semaphore suitable for use as the per-thread binary
+// semaphore of the paper's Algorithm 3: it starts at zero, so the first
+// Wait blocks until the matching Post.
+func NewBinary() *Sem { return New(0) }
+
+// SetStats attaches a stats sink; pass nil to detach. Not synchronized
+// with concurrent operations; call before sharing the semaphore.
+func (s *Sem) SetStats(st *Stats) { s.st = st }
+
+// Post makes one permit available. If a goroutine is blocked in Wait, the
+// longest-waiting one receives the permit directly and becomes runnable;
+// otherwise the permit is banked for a future Wait.
+//
+// Post never blocks and is safe to call from commit handlers, which is how
+// the condition variable defers wake-ups to transaction commit.
+func (s *Sem) Post() {
+	s.mu.lock()
+	if w := s.head; w != nil {
+		s.head = w.next
+		if s.head == nil {
+			s.tail = nil
+		}
+		s.mu.unlock()
+		w.ch <- struct{}{} // capacity 1: cannot block
+	} else {
+		s.count++
+		s.mu.unlock()
+	}
+	if s.st != nil {
+		s.st.Posts.Inc()
+	}
+}
+
+// PostN posts n permits. Equivalent to n calls of Post but takes the
+// internal lock once per handed-off waiter batch.
+func (s *Sem) PostN(n int) {
+	for i := 0; i < n; i++ {
+		s.Post()
+	}
+}
+
+// Wait acquires one permit, descheduling the caller until one is
+// available. Permits are delivered in FIFO order among blocked waiters.
+func (s *Sem) Wait() {
+	s.mu.lock()
+	if s.count > 0 {
+		s.count--
+		s.mu.unlock()
+		if s.st != nil {
+			s.st.Waits.Inc()
+			s.st.FastWaits.Inc()
+		}
+		return
+	}
+	w := &waiter{ch: make(chan struct{}, 1)}
+	s.enqueueLocked(w)
+	s.mu.unlock()
+	if s.st != nil {
+		s.st.Blocks.Inc()
+	}
+	<-w.ch
+	if s.st != nil {
+		s.st.Waits.Inc()
+	}
+}
+
+// TryWait acquires a permit only if one is immediately available. It
+// reports whether a permit was acquired.
+func (s *Sem) TryWait() bool {
+	s.mu.lock()
+	if s.count > 0 {
+		s.count--
+		s.mu.unlock()
+		if s.st != nil {
+			s.st.Waits.Inc()
+			s.st.FastWaits.Inc()
+		}
+		return true
+	}
+	s.mu.unlock()
+	return false
+}
+
+// WaitTimeout acquires a permit, giving up after d. It reports whether a
+// permit was acquired. A timed-out waiter is unlinked from the queue; if a
+// Post races with the timeout and hands the permit over anyway, the permit
+// is kept and WaitTimeout returns true (no permit is ever lost).
+func (s *Sem) WaitTimeout(d time.Duration) bool {
+	s.mu.lock()
+	if s.count > 0 {
+		s.count--
+		s.mu.unlock()
+		if s.st != nil {
+			s.st.Waits.Inc()
+			s.st.FastWaits.Inc()
+		}
+		return true
+	}
+	w := &waiter{ch: make(chan struct{}, 1)}
+	s.enqueueLocked(w)
+	s.mu.unlock()
+	if s.st != nil {
+		s.st.Blocks.Inc()
+	}
+
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-w.ch:
+		if s.st != nil {
+			s.st.Waits.Inc()
+		}
+		return true
+	case <-t.C:
+	}
+
+	// Timed out: remove ourselves. A concurrent Post may have already
+	// dequeued us and committed a permit to w.ch; check under the lock.
+	s.mu.lock()
+	if s.unlinkLocked(w) {
+		s.mu.unlock()
+		if s.st != nil {
+			s.st.Timeouts.Inc()
+		}
+		return false
+	}
+	s.mu.unlock()
+	// We were already dequeued by a Post: the permit is (or will be) in
+	// the channel. Take it.
+	<-w.ch
+	if s.st != nil {
+		s.st.Waits.Inc()
+	}
+	return true
+}
+
+// Value returns the current permit count. Negative values are never
+// returned; the number of blocked waiters is reported by Waiters.
+func (s *Sem) Value() int64 {
+	s.mu.lock()
+	defer s.mu.unlock()
+	return s.count
+}
+
+// Waiters returns the number of goroutines currently blocked in Wait.
+func (s *Sem) Waiters() int {
+	s.mu.lock()
+	defer s.mu.unlock()
+	n := 0
+	for w := s.head; w != nil; w = w.next {
+		n++
+	}
+	return n
+}
+
+func (s *Sem) enqueueLocked(w *waiter) {
+	if s.tail == nil {
+		s.head, s.tail = w, w
+	} else {
+		s.tail.next = w
+		s.tail = w
+	}
+}
+
+// unlinkLocked removes w from the waiter list, reporting whether it was
+// still present.
+func (s *Sem) unlinkLocked(w *waiter) bool {
+	var prev *waiter
+	for cur := s.head; cur != nil; cur = cur.next {
+		if cur == w {
+			if prev == nil {
+				s.head = cur.next
+			} else {
+				prev.next = cur.next
+			}
+			if s.tail == cur {
+				s.tail = prev
+			}
+			cur.next = nil
+			return true
+		}
+		prev = cur
+	}
+	return false
+}

@@ -1,0 +1,65 @@
+// Package stm is a word-based software transactional memory for Go, built
+// as the substrate for the transaction-friendly condition variables of
+// Wang, Liu and Spear (SPAA 2014). It stands in for the two TM systems the
+// paper evaluates on:
+//
+//   - GCC 4.9's libitm "ml_wt" algorithm (multi-lock, write-through):
+//     reproduced by AlgWriteThrough — encounter-time orec locking with an
+//     undo log.
+//   - Intel Haswell RTM hardware TM: reproduced by AlgHTM — a best-effort
+//     engine with a bounded access capacity, immediate aborts on conflict,
+//     aborts on (simulated) system calls, and a global-lock serial
+//     fallback, which is how real lock-elision runtimes behave.
+//
+// A third algorithm, AlgWriteBack (commit-time locking with a redo log,
+// TL2-style), is provided because the paper's Section 4.2 discusses how
+// WAIT's early commit interacts differently with redo- and undo-logging
+// runtimes; having both lets the tests exercise that discussion.
+//
+// # Programming model
+//
+// Transactional data lives in typed cells:
+//
+//	e := stm.NewEngine(stm.Config{})
+//	v := stm.NewVar(e, 0)
+//	err := e.Atomic(func(tx *stm.Tx) {
+//	    n := stm.Read(tx, v)
+//	    stm.Write(tx, v, n+1)
+//	})
+//
+// Atomic retries the function until it commits; after Config.MaxRetries
+// consecutive aborts it falls back to serial-irrevocable execution under a
+// global lock (the standard HTM lock-elision discipline, also a fine
+// contention manager for STM). AtomicRelaxed runs the function serially
+// and irrevocably from the start — the paper's "relaxed transaction" used
+// for I/O, which is what makes dedup stop scaling in its evaluation.
+//
+// Nesting is flat (Section 4.3 of the paper): tx.Atomic runs a nested
+// block inside the same transaction.
+//
+// # Features the condition variable needs
+//
+//   - Tx.OnCommit registers a handler to run after the outermost commit;
+//     the condvar defers SEMPOST to commit time this way, so a wake-up is
+//     never caused by a transaction that ultimately aborts and never
+//     executed inside a hardware transaction (Algorithm 5, line 9).
+//   - Tx.CommitEarly commits the running transaction in the middle of the
+//     atomic function ("punctuation"): WAIT uses it to complete the
+//     enclosing sync block before sleeping (Algorithm 4, line 9). After an
+//     early commit the remaining code in the atomic function runs
+//     unsynchronized and must not touch the Tx.
+//   - Saved reproduces Section 4.2's ad-hoc stack checkpointing: it
+//     snapshots a closure-captured local at registration and restores it if
+//     the transaction aborts, so re-execution sees the pre-transaction
+//     value.
+//
+// # Memory model
+//
+// Var values are published through atomic.Value, so the package is clean
+// under the Go race detector; consistency of transactional reads is
+// enforced by per-location ownership records (orecs) with a global version
+// clock, not by the atomicity of the value load itself. Orecs are striped:
+// several Vars may hash to one orec, which models the false-conflict
+// behaviour of address-hashed orec tables in real STMs (Config.OrecCount
+// controls the table size).
+package stm

@@ -1,0 +1,504 @@
+package stm
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Algorithm selects the TM algorithm an Engine runs.
+type Algorithm int
+
+const (
+	// AlgWriteThrough is encounter-time orec locking with an undo log —
+	// the shape of GCC libitm's ml_wt, which the paper uses on its
+	// "Westmere" STM machine.
+	AlgWriteThrough Algorithm = iota
+	// AlgWriteBack is commit-time orec locking with a redo log
+	// (TL2-style). Provided for the Section 4.2 redo-vs-undo discussion
+	// and for ablation benchmarks.
+	AlgWriteBack
+	// AlgHTM simulates a best-effort hardware TM with lock-elision
+	// fallback — the shape of the paper's "Haswell" machine. Capacity
+	// overflows, conflicts and system calls abort the hardware attempt;
+	// after MaxRetries the transaction runs serially under a global
+	// lock.
+	AlgHTM
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgWriteThrough:
+		return "ml_wt"
+	case AlgWriteBack:
+		return "tl2_wb"
+	case AlgHTM:
+		return "htm"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes an Engine. The zero value selects sensible
+// defaults (write-through, 16Ki orecs).
+type Config struct {
+	Algorithm Algorithm
+
+	// OrecCount is the size of the striped ownership-record table,
+	// rounded up to a power of two. Smaller tables produce more false
+	// conflicts, as with address-hashed orec tables in real STMs.
+	// Default 1<<14.
+	OrecCount int
+
+	// MaxRetries is the number of optimistic attempts before the serial
+	// (global-lock) fallback. Default 16 for software algorithms, 6 for
+	// HTM.
+	MaxRetries int
+
+	// HTMCapacity bounds the number of distinct transactional accesses a
+	// simulated hardware transaction may perform before a capacity
+	// abort. Default 64.
+	HTMCapacity int
+
+	// BackoffBase and BackoffMax bound the randomized exponential
+	// backoff between attempts. Defaults 500ns and 100µs.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// Name labels the engine in stats dumps.
+	Name string
+}
+
+func (c Config) withDefaults() Config {
+	if c.OrecCount <= 0 {
+		c.OrecCount = 1 << 14
+	}
+	// Round up to a power of two.
+	n := 1
+	for n < c.OrecCount {
+		n <<= 1
+	}
+	c.OrecCount = n
+	if c.MaxRetries <= 0 {
+		if c.Algorithm == AlgHTM {
+			c.MaxRetries = 6
+		} else {
+			c.MaxRetries = 16
+		}
+	}
+	if c.HTMCapacity <= 0 {
+		c.HTMCapacity = 64
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 500 * time.Nanosecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 100 * time.Microsecond
+	}
+	if c.Name == "" {
+		c.Name = c.Algorithm.String()
+	}
+	return c
+}
+
+// TMStats aggregates engine activity. All fields are safe to read
+// concurrently.
+type TMStats struct {
+	Starts         stats.Counter // transaction attempts begun
+	Commits        stats.Counter // outermost commits (incl. serial)
+	Aborts         stats.Counter // attempts rolled back
+	ConflictAborts stats.Counter
+	CapacityAborts stats.Counter // HTM read/write-set overflow
+	SyscallAborts  stats.Counter // HTM abort due to Tx.Syscall
+	ExplicitAborts stats.Counter // Tx.Cancel
+	EarlyCommits   stats.Counter // Tx.CommitEarly (the condvar WAIT path)
+	SerialCommits  stats.Counter // commits executed irrevocably
+	SerialFallback stats.Counter // optimistic → serial transitions
+	RelaxedTxns    stats.Counter // AtomicRelaxed invocations
+	Extensions     stats.Counter // successful snapshot extensions
+	HandlersRun    stats.Counter // onCommit handlers executed
+	RetryAborts    stats.Counter // attempts that called Retry
+	RetryWaits     stats.Counter // Retry callers that actually slept
+	RetryWakes     stats.Counter // sleeping retriers woken by commits
+	MaxAttempts    stats.Max     // worst retry count observed
+}
+
+// Snapshot returns all counters at one instant, keyed by name — handy for
+// logging and for diffing across benchmark phases.
+func (s *TMStats) Snapshot() map[string]int64 {
+	return map[string]int64{
+		"starts":          s.Starts.Load(),
+		"commits":         s.Commits.Load(),
+		"aborts":          s.Aborts.Load(),
+		"conflict_aborts": s.ConflictAborts.Load(),
+		"capacity_aborts": s.CapacityAborts.Load(),
+		"syscall_aborts":  s.SyscallAborts.Load(),
+		"explicit_aborts": s.ExplicitAborts.Load(),
+		"early_commits":   s.EarlyCommits.Load(),
+		"serial_commits":  s.SerialCommits.Load(),
+		"serial_fallback": s.SerialFallback.Load(),
+		"relaxed_txns":    s.RelaxedTxns.Load(),
+		"extensions":      s.Extensions.Load(),
+		"handlers_run":    s.HandlersRun.Load(),
+		"retry_aborts":    s.RetryAborts.Load(),
+		"retry_waits":     s.RetryWaits.Load(),
+		"retry_wakes":     s.RetryWakes.Load(),
+		"max_attempts":    s.MaxAttempts.Load(),
+	}
+}
+
+// AbortRate returns aborts / starts, or 0 with no activity.
+func (s *TMStats) AbortRate() float64 {
+	st := s.Starts.Load()
+	if st == 0 {
+		return 0
+	}
+	return float64(s.Aborts.Load()) / float64(st)
+}
+
+// Engine is a transactional-memory runtime. Engines are independent: Vars
+// belong to the engine that created them, and transactions only
+// synchronize with transactions on the same engine.
+type Engine struct {
+	cfg      Config
+	clock    atomic.Uint64
+	txid     atomic.Uint64
+	varSeq   atomic.Uint64
+	orecs    []orec
+	orecMask uint64
+
+	// serialGate is the lock-elision gate: every optimistic attempt
+	// holds the read side; a serial (irrevocable) transaction holds the
+	// write side, excluding all optimism while it runs.
+	serialGate sync.RWMutex
+
+	rngState atomic.Uint64
+	txPool   sync.Pool // recycled *Tx, logs retaining capacity
+	retry    retryHub  // sleeping Retry() callers, keyed by orec
+
+	Stats TMStats
+}
+
+// NewEngine creates an engine with the given configuration.
+func NewEngine(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:      cfg,
+		orecs:    make([]orec, cfg.OrecCount),
+		orecMask: uint64(cfg.OrecCount - 1),
+	}
+	e.rngState.Store(uint64(time.Now().UnixNano())*2 + 1)
+	return e
+}
+
+// Config returns the engine's effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Name returns the engine's label.
+func (e *Engine) Name() string { return e.cfg.Name }
+
+// Now returns the current global version clock (for diagnostics).
+func (e *Engine) Now() uint64 { return e.clock.Load() }
+
+func (e *Engine) newTx(attempt int) *Tx {
+	var m mode
+	switch e.cfg.Algorithm {
+	case AlgWriteBack:
+		m = modeWriteBack
+	case AlgHTM:
+		m = modeHTM
+	default:
+		m = modeWriteThrough
+	}
+	e.Stats.Starts.Inc()
+	tx, _ := e.txPool.Get().(*Tx)
+	if tx == nil {
+		tx = &Tx{e: e}
+	}
+	tx.id = e.txid.Add(1)
+	tx.start = e.clock.Load()
+	tx.mode = m
+	tx.attempt = attempt
+	tx.status = txActive
+	tx.depth = 0
+	tx.accesses = 0
+	tx.gateHeld = false
+	tx.serialHeld = false
+	tx.readOnly = false
+	return tx
+}
+
+// recycle returns a finished Tx to the pool. Log slices keep their
+// capacity; handler slices were already cleared by commit/rollback.
+func (e *Engine) recycle(tx *Tx) {
+	if tx.status == txActive {
+		return // never recycle a live transaction
+	}
+	tx.reads = tx.reads[:0]
+	tx.writes = tx.writes[:0]
+	tx.undo = tx.undo[:0]
+	tx.owned = tx.owned[:0]
+	tx.onCommit = nil
+	tx.onAbort = nil
+	e.txPool.Put(tx)
+}
+
+// Atomic executes fn transactionally, retrying on conflict and falling
+// back to serial-irrevocable execution after Config.MaxRetries attempts.
+// It returns nil on commit, or the error passed to Tx.Cancel.
+//
+// fn may run multiple times; it must confine side effects to Vars, Tx
+// handlers, and idempotent writes to captured locals (or protect the
+// latter with Saved).
+func (e *Engine) Atomic(fn func(*Tx)) error {
+	return e.atomicImpl(fn, false)
+}
+
+// AtomicRead executes fn as a read-only transaction. Reads are validated
+// as usual, but commit acquires no locks and does not advance the global
+// clock, so read-only transactions never make other transactions abort.
+// Any Write inside fn panics. Retry, Cancel, nesting and the serial
+// fallback behave as in Atomic.
+func (e *Engine) AtomicRead(fn func(*Tx)) error {
+	return e.atomicImpl(fn, true)
+}
+
+func (e *Engine) atomicImpl(fn func(*Tx), readOnly bool) error {
+	for attempt := 0; ; attempt++ {
+		if attempt >= e.cfg.MaxRetries {
+			e.Stats.SerialFallback.Inc()
+			e.Stats.MaxAttempts.Observe(int64(attempt))
+			return e.runSerial(fn)
+		}
+		done, fallback, retrySet, err := e.attemptOnce(fn, attempt, readOnly)
+		if done {
+			e.Stats.MaxAttempts.Observe(int64(attempt))
+			return err
+		}
+		if fallback {
+			e.Stats.SerialFallback.Inc()
+			return e.runSerial(fn)
+		}
+		if retrySet != nil {
+			// Harris retry: sleep until the read set changes, then
+			// re-run. Retry waits are condition synchronization, not
+			// contention — they do not advance the serial-fallback
+			// counter.
+			e.waitForChange(retrySet)
+			attempt--
+			continue
+		}
+		e.backoff(attempt)
+	}
+}
+
+// MustAtomic is Atomic for blocks that never Cancel; it panics on error.
+func (e *Engine) MustAtomic(fn func(*Tx)) {
+	if err := e.Atomic(fn); err != nil {
+		panic("stm: unexpected Cancel from MustAtomic block: " + err.Error())
+	}
+}
+
+// AtomicRelaxed executes fn as a relaxed (irrevocable) transaction: it
+// runs exactly once, serially, under the global lock, and may perform I/O
+// and other un-undoable actions. This is the paper's relaxed transaction;
+// its cost — total loss of concurrency while it runs — is what flattens
+// dedup's scaling in Section 5.4.
+func (e *Engine) AtomicRelaxed(fn func(*Tx)) error {
+	e.Stats.RelaxedTxns.Inc()
+	return e.runSerial(fn)
+}
+
+// attemptOnce runs one optimistic attempt. done reports the transaction
+// finished (committed or cancelled); fallback requests an immediate switch
+// to serial mode (HTM syscall aborts); a non-nil retrySet means the
+// attempt called Retry and the caller must sleep on those reads.
+func (e *Engine) attemptOnce(fn func(*Tx), attempt int, readOnly bool) (done, fallback bool, retrySet []readEntry, err error) {
+	e.serialGate.RLock()
+	tx := e.newTx(attempt)
+	tx.readOnly = readOnly
+	tx.gateHeld = true
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		sig, ok := r.(abortSignal)
+		if !ok {
+			// A panic from user code: roll back so shared state is
+			// clean, then propagate.
+			tx.rollback(causeConflict)
+			tx.releaseGate()
+			panic(r)
+		}
+		if sig.cause == causeRetry {
+			// Preserve the read set before rollback recycling; the
+			// retry sleeper validates against it.
+			retrySet = append([]readEntry(nil), tx.reads...)
+		}
+		tx.rollback(sig.cause)
+		tx.releaseGate()
+		switch sig.cause {
+		case causeCancel:
+			done, err = true, sig.err
+		case causeSyscall:
+			fallback = true
+		}
+		e.recycle(tx)
+	}()
+
+	fn(tx)
+
+	if tx.status == txCommitted {
+		// Early commit happened inside fn (condvar WAIT); everything
+		// after it ran unsynchronized. Gate and handlers were dealt
+		// with at the early-commit point.
+		tx.releaseGate()
+		e.recycle(tx)
+		return true, false, nil, nil
+	}
+	if tx.tryCommit() {
+		tx.releaseGate()
+		tx.runCommitHandlers()
+		e.Stats.Commits.Inc()
+		e.recycle(tx)
+		return true, false, nil, nil
+	}
+	tx.releaseGate()
+	e.recycle(tx)
+	return false, false, nil, nil
+}
+
+func (tx *Tx) releaseGate() {
+	if tx.gateHeld {
+		tx.gateHeld = false
+		tx.e.serialGate.RUnlock()
+	}
+}
+
+func (tx *Tx) releaseSerial() {
+	if tx.serialHeld {
+		tx.serialHeld = false
+		tx.e.serialGate.Unlock()
+	}
+}
+
+// runSerial executes fn irrevocably under the global lock.
+func (e *Engine) runSerial(fn func(*Tx)) error {
+	e.serialGate.Lock()
+	e.Stats.Starts.Inc()
+	tx := &Tx{
+		e:      e,
+		id:     e.txid.Add(1),
+		start:  e.clock.Load(),
+		mode:   modeSerial,
+		status: txActive,
+	}
+	tx.serialHeld = true
+	defer func() {
+		if r := recover(); r != nil {
+			// Irrevocable transactions cannot roll back; release the
+			// gate and propagate. Shared state keeps whatever fn did.
+			tx.releaseSerial()
+			panic(r)
+		}
+	}()
+
+	fn(tx)
+
+	if tx.status == txActive {
+		// Serial stores are in place; bump the clock so optimistic
+		// readers that observed pre-serial versions revalidate.
+		e.clock.Add(1)
+		tx.status = txCommitted
+		tx.releaseSerial()
+		// Serial writes bypass orecs, so specific retry watchers cannot
+		// be targeted; wake them all (spurious re-runs are legal).
+		if e.retryWatchersActive() {
+			e.wakeAllRetriers()
+		}
+		tx.runCommitHandlers()
+		e.Stats.Commits.Inc()
+		e.Stats.SerialCommits.Inc()
+	}
+	return nil
+}
+
+// CommitEarly commits the transaction now, in the middle of the atomic
+// function — the paper's punctuation point (Algorithm 4 line 9,
+// EndSyncBlock for a transactional sync context). After CommitEarly:
+//
+//   - all transactional effects so far are committed and visible;
+//   - onCommit handlers have run;
+//   - the Tx is dead: any further Read/Write/OnCommit panics;
+//   - the remainder of the atomic function executes unsynchronized and
+//     exactly once (Atomic will not re-run it).
+//
+// If validation fails, the attempt aborts and Atomic re-runs the whole
+// function, which matches the paper's semantics: the first "half" of a
+// punctuated transaction retries until it commits.
+func (tx *Tx) CommitEarly() {
+	tx.ensureActive("CommitEarly")
+	if tx.mode == modeSerial {
+		if tx.e.clockBumpNeeded() {
+			tx.e.clock.Add(1)
+		}
+		tx.status = txCommitted
+		tx.releaseSerial()
+		if tx.e.retryWatchersActive() {
+			tx.e.wakeAllRetriers()
+		}
+		tx.runCommitHandlers()
+		tx.e.Stats.Commits.Inc()
+		tx.e.Stats.SerialCommits.Inc()
+		tx.e.Stats.EarlyCommits.Inc()
+		return
+	}
+	if !tx.tryCommit() {
+		// tryCommit rolled us back; unwind to Atomic's retry loop.
+		panic(abortSignal{cause: causeConflict})
+	}
+	tx.releaseGate()
+	tx.runCommitHandlers()
+	tx.e.Stats.Commits.Inc()
+	tx.e.Stats.EarlyCommits.Inc()
+}
+
+// clockBumpNeeded reports whether a serial commit should advance the
+// global clock (always true; kept as a hook for finer policies).
+func (e *Engine) clockBumpNeeded() bool { return true }
+
+// backoff sleeps a randomized, exponentially growing interval. The first
+// couple of retries just yield, which is usually enough on small
+// transactions.
+func (e *Engine) backoff(attempt int) {
+	if attempt < 2 {
+		// Cheap yield; most conflicts clear immediately.
+		time.Sleep(0)
+		return
+	}
+	d := e.cfg.BackoffBase << uint(min(attempt, 12))
+	if d > e.cfg.BackoffMax {
+		d = e.cfg.BackoffMax
+	}
+	half := d / 2
+	j := time.Duration(e.nextRand() % uint64(half+1))
+	time.Sleep(half + j)
+}
+
+// nextRand is a lock-free xorshift64 shared by backoff jitter.
+func (e *Engine) nextRand() uint64 {
+	for {
+		s := e.rngState.Load()
+		x := s
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if e.rngState.CompareAndSwap(s, x) {
+			return x
+		}
+	}
+}

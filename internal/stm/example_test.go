@@ -1,0 +1,78 @@
+package stm_test
+
+import (
+	"fmt"
+
+	"repro/internal/stm"
+)
+
+// The basic transactional counter: Atomic retries until the increment
+// commits.
+func ExampleEngine_Atomic() {
+	e := stm.NewEngine(stm.Config{})
+	v := stm.NewVar(e, 10)
+	e.MustAtomic(func(tx *stm.Tx) {
+		stm.Write(tx, v, stm.Read(tx, v)+32)
+	})
+	fmt.Println(v.LoadDirect())
+	// Output: 42
+}
+
+// Transfers between Vars are atomic: no interleaving can observe money in
+// flight.
+func ExampleEngine_Atomic_transfer() {
+	e := stm.NewEngine(stm.Config{})
+	a := stm.NewVar(e, 100)
+	b := stm.NewVar(e, 0)
+	e.MustAtomic(func(tx *stm.Tx) {
+		amount := 30
+		stm.Write(tx, a, stm.Read(tx, a)-amount)
+		stm.Write(tx, b, stm.Read(tx, b)+amount)
+	})
+	fmt.Println(a.LoadDirect(), b.LoadDirect())
+	// Output: 70 30
+}
+
+// OnCommit handlers run once, after the transaction is durable — the hook
+// the condition variable uses to defer semaphore posts (the paper's
+// RegisterHandler).
+func ExampleTx_OnCommit() {
+	e := stm.NewEngine(stm.Config{})
+	v := stm.NewVar(e, 0)
+	e.MustAtomic(func(tx *stm.Tx) {
+		stm.Write(tx, v, 1)
+		tx.OnCommit(func() {
+			fmt.Println("committed; v =", v.LoadDirect())
+		})
+	})
+	// Output: committed; v = 1
+}
+
+// Saved checkpoints a closure-captured local so a retry re-executes from
+// the pre-transaction value (the paper's Section 4.2 ad-hoc checkpoint).
+func ExampleSaved() {
+	e := stm.NewEngine(stm.Config{})
+	total := 100
+	e.MustAtomic(func(tx *stm.Tx) {
+		stm.Saved(tx, &total)
+		total += 5 // would double-apply on retry without Saved
+		if tx.Attempt() == 0 {
+			tx.Restart()
+		}
+	})
+	fmt.Println(total)
+	// Output: 105
+}
+
+// CommitEarly is the paper's punctuation point: everything before it
+// commits atomically; everything after runs unsynchronized, exactly once.
+func ExampleTx_CommitEarly() {
+	e := stm.NewEngine(stm.Config{})
+	v := stm.NewVar(e, 0)
+	e.MustAtomic(func(tx *stm.Tx) {
+		stm.Write(tx, v, 7)
+		tx.CommitEarly()
+		fmt.Println("after punctuation; v =", v.LoadDirect())
+	})
+	// Output: after punctuation; v = 7
+}

@@ -1,0 +1,491 @@
+package stm
+
+import "fmt"
+
+// mode selects the access/commit algorithm for one transaction attempt.
+type mode int
+
+const (
+	modeWriteThrough mode = iota // encounter-time locking, undo log (ml_wt)
+	modeWriteBack                // commit-time locking, redo log (TL2)
+	modeHTM                      // simulated best-effort hardware TM
+	modeSerial                   // irrevocable, under the global serial lock
+)
+
+// txStatus is the lifecycle state of a Tx.
+type txStatus int
+
+const (
+	txActive txStatus = iota
+	txCommitted
+	txAborted
+)
+
+// abortCause classifies why an attempt aborted, for statistics and for the
+// retry policy.
+type abortCause int
+
+const (
+	causeConflict abortCause = iota
+	causeCapacity            // HTM read/write-set overflow
+	causeSyscall             // HTM abort due to a system call in the txn
+	causeCancel              // user called Cancel
+	causeRetry               // user called Retry (Harris-style wait)
+)
+
+// abortSignal is the panic payload used for non-local exit out of the
+// atomic function when an attempt must abort. It never escapes the
+// package: Engine.Atomic recovers it.
+type abortSignal struct {
+	cause abortCause
+	err   error // for causeCancel
+}
+
+// readEntry records one transactional read for commit-time validation.
+type readEntry struct {
+	o   *orec
+	ver uint64
+}
+
+// undoEntry records the pre-image of one write-through store.
+type undoEntry struct {
+	b   *varBase
+	old any // box[T]
+}
+
+// writeEntry is one redo-buffer slot.
+type writeEntry struct {
+	b *varBase
+	v any // box[T]
+}
+
+// ownedEntry records an orec this transaction locked and its pre-lock
+// version.
+type ownedEntry struct {
+	o    *orec
+	prev uint64
+}
+
+// Tx is one transaction. A Tx is created by Engine.Atomic (one per
+// attempt) and passed to the atomic function; it must not be retained
+// after the function returns, shared between goroutines, or used after
+// CommitEarly.
+type Tx struct {
+	e      *Engine
+	id     uint64
+	start  uint64 // global-clock snapshot this attempt reads against
+	status txStatus
+	mode   mode
+	depth  int // flat-nesting depth; 0 = outermost
+
+	reads []readEntry
+	// writes is the redo buffer (write-back and HTM), kept as an ordered
+	// slice with linear lookup: transactions touch a handful of
+	// locations ("fewer than 10", Section 5.4), where a scan beats a map
+	// and allocates nothing after warm-up.
+	writes []writeEntry
+	undo   []undoEntry  // pre-images (write-through)
+	owned  []ownedEntry // orecs this txn holds, with pre-lock versions
+
+	accesses int // HTM capacity accounting
+
+	onCommit []func()
+	onAbort  []func()
+
+	gateHeld   bool // holds the serial gate's read side
+	serialHeld bool // holds the serial gate's write side (modeSerial)
+	readOnly   bool // AtomicRead: writes forbidden, lock-free commit
+	attempt    int
+}
+
+// Engine returns the engine this transaction runs on.
+func (tx *Tx) Engine() *Engine { return tx.e }
+
+// Active reports whether the transaction can still perform reads and
+// writes (i.e. it has not committed early, committed, or aborted).
+func (tx *Tx) Active() bool { return tx.status == txActive }
+
+// Serial reports whether this attempt is executing irrevocably under the
+// global serial lock (either via AtomicRelaxed or after the fallback).
+func (tx *Tx) Serial() bool { return tx.mode == modeSerial }
+
+// Attempt returns the zero-based retry attempt number of this execution.
+func (tx *Tx) Attempt() int { return tx.attempt }
+
+func (tx *Tx) ensureActive(op string) {
+	if tx.status != txActive {
+		panic(fmt.Sprintf("stm: %s on %s transaction (did code run after CommitEarly/Wait?)", op, tx.statusString()))
+	}
+}
+
+func (tx *Tx) statusString() string {
+	switch tx.status {
+	case txActive:
+		return "active"
+	case txCommitted:
+		return "committed"
+	default:
+		return "aborted"
+	}
+}
+
+// OnCommit registers f to run after the outermost transaction commits
+// (immediately, in program order of registration). If the transaction
+// aborts, f is discarded. This is the paper's RegisterHandler (Algorithm
+// 5, line 9): the condition variable uses it to defer SEMPOST past commit,
+// so no wake-up is caused by a transaction that does not commit, and no
+// semaphore operation runs inside a (hardware) transaction.
+func (tx *Tx) OnCommit(f func()) {
+	tx.ensureActive("OnCommit")
+	tx.onCommit = append(tx.onCommit, f)
+}
+
+// OnAbort registers f to run if this attempt aborts (before the retry).
+// Used by Saved to restore checkpointed locals.
+func (tx *Tx) OnAbort(f func()) {
+	tx.ensureActive("OnAbort")
+	tx.onAbort = append(tx.onAbort, f)
+}
+
+// Atomic runs fn as a nested transaction. Nesting is flat (Section 4.3):
+// fn executes inside the same transaction, and an abort anywhere rolls
+// back the whole flattened transaction.
+func (tx *Tx) Atomic(fn func(*Tx)) {
+	tx.ensureActive("nested Atomic")
+	tx.depth++
+	defer func() { tx.depth-- }()
+	fn(tx)
+}
+
+// Depth returns the current flat-nesting depth (0 at the outermost level).
+func (tx *Tx) Depth() int { return tx.depth }
+
+// Cancel aborts the transaction permanently: Atomic stops retrying and
+// returns err. Panics if called on a serial (irrevocable) transaction,
+// which by definition cannot roll back.
+func (tx *Tx) Cancel(err error) {
+	tx.ensureActive("Cancel")
+	if tx.mode == modeSerial {
+		panic("stm: Cancel inside an irrevocable (serial/relaxed) transaction")
+	}
+	panic(abortSignal{cause: causeCancel, err: err})
+}
+
+// Restart aborts this attempt and retries the atomic function from the
+// beginning (a user-requested retry; also counts toward the serial
+// fallback threshold).
+func (tx *Tx) Restart() {
+	tx.ensureActive("Restart")
+	if tx.mode == modeSerial {
+		panic("stm: Restart inside an irrevocable (serial/relaxed) transaction")
+	}
+	panic(abortSignal{cause: causeConflict})
+}
+
+// Syscall marks a point where the transaction performs a system call. On
+// the simulated HTM this aborts the hardware attempt (as RTM does) and
+// directs the retry policy straight to the serial fallback; on software
+// engines it is a no-op. The condition variable never triggers this — its
+// whole design keeps SEMWAIT/SEMPOST outside transactions — but workloads
+// doing I/O inside transactions (dedup) hit it.
+func (tx *Tx) Syscall() {
+	tx.ensureActive("Syscall")
+	if tx.mode == modeHTM {
+		panic(abortSignal{cause: causeSyscall})
+	}
+}
+
+func (tx *Tx) ownsOrec(o *orec) bool {
+	for i := range tx.owned {
+		if tx.owned[i].o == o {
+			return true
+		}
+	}
+	return false
+}
+
+func (tx *Tx) abortConflict() {
+	panic(abortSignal{cause: causeConflict})
+}
+
+// readShared performs a consistent versioned read of b's published value
+// and logs it in the read set. Shared by all optimistic modes.
+func (tx *Tx) readShared(b *varBase) any {
+	o := b.o
+	for spin := 0; ; spin++ {
+		w1 := o.load()
+		if isLocked(w1) {
+			if tx.mode == modeWriteBack && ownerOf(w1) == tx.id {
+				// Possible only during commit, which never reads.
+				panic("stm: readShared under own commit lock")
+			}
+			tx.abortConflict()
+		}
+		val := b.val.Load()
+		w2 := o.load()
+		if w1 != w2 {
+			if tx.mode == modeHTM {
+				tx.abortConflict() // eager HTM: any disturbance aborts
+			}
+			continue // value changed underfoot; re-read
+		}
+		if versionOf(w1) > tx.start {
+			// The location changed after our snapshot. Software modes
+			// try a timestamp extension (revalidate the read set and
+			// advance the snapshot); HTM aborts immediately.
+			if tx.mode == modeHTM || !tx.extend() {
+				tx.abortConflict()
+			}
+			// Re-read under the extended snapshot.
+			continue
+		}
+		tx.reads = append(tx.reads, readEntry{o, versionOf(w1)})
+		tx.noteAccess()
+		return val
+	}
+}
+
+// extend revalidates every logged read and, if all still hold, advances
+// the snapshot to the current clock. Reports success.
+func (tx *Tx) extend() bool {
+	now := tx.e.clock.Load()
+	for _, r := range tx.reads {
+		w := r.o.load()
+		if isLocked(w) {
+			if prev, mine := tx.ownedVersion(r.o); mine {
+				if r.ver != prev {
+					return false
+				}
+				continue
+			}
+			return false
+		}
+		if versionOf(w) != r.ver {
+			return false
+		}
+	}
+	tx.start = now
+	tx.e.Stats.Extensions.Inc()
+	return true
+}
+
+func (tx *Tx) ownedVersion(o *orec) (uint64, bool) {
+	for i := range tx.owned {
+		if tx.owned[i].o == o {
+			return tx.owned[i].prev, true
+		}
+	}
+	return 0, false
+}
+
+// findWrite returns the redo-buffer value for b, if any.
+func (tx *Tx) findWrite(b *varBase) (any, bool) {
+	for i := range tx.writes {
+		if tx.writes[i].b == b {
+			return tx.writes[i].v, true
+		}
+	}
+	return nil, false
+}
+
+// bufferWrite records a redo-log write (write-back and HTM modes).
+func (tx *Tx) bufferWrite(b *varBase, boxed any) {
+	for i := range tx.writes {
+		if tx.writes[i].b == b {
+			tx.writes[i].v = boxed
+			return
+		}
+	}
+	tx.writes = append(tx.writes, writeEntry{b, boxed})
+	tx.noteAccess()
+}
+
+// writeThrough performs an encounter-time locked in-place write with undo
+// logging (the ml_wt discipline).
+func (tx *Tx) writeThrough(b *varBase, boxed any) {
+	o := b.o
+	if !tx.ownsOrec(o) {
+		w := o.load()
+		if isLocked(w) {
+			tx.abortConflict() // no waiting: deadlock-free by construction
+		}
+		if versionOf(w) > tx.start && !tx.extend() {
+			tx.abortConflict()
+		}
+		if !o.cas(w, lockWord(tx.id)) {
+			tx.abortConflict()
+		}
+		tx.owned = append(tx.owned, ownedEntry{o, versionOf(w)})
+	}
+	tx.undo = append(tx.undo, undoEntry{b, b.val.Load()})
+	b.val.Store(boxed)
+	tx.noteAccess()
+}
+
+func (tx *Tx) noteAccess() {
+	tx.accesses++
+	if tx.mode == modeHTM && tx.accesses > tx.e.cfg.HTMCapacity {
+		panic(abortSignal{cause: causeCapacity})
+	}
+}
+
+// validateReads checks every logged read against the current orec state.
+// A read is valid if its orec is unlocked at the logged version, or locked
+// by this transaction with the logged version as the pre-lock version.
+func (tx *Tx) validateReads() bool {
+	for _, r := range tx.reads {
+		w := r.o.load()
+		if isLocked(w) {
+			if ownerOf(w) == tx.id {
+				if prev, _ := tx.ownedVersion(r.o); prev == r.ver {
+					continue
+				}
+			}
+			return false
+		}
+		if versionOf(w) != r.ver {
+			return false
+		}
+	}
+	return true
+}
+
+// tryCommit attempts to commit the outermost transaction. On success the
+// transaction is marked committed (handlers are NOT run here; the engine
+// runs them after releasing the serial gate's read side is unnecessary —
+// they run right after this returns). On failure the transaction has been
+// fully rolled back and unlocked, and tryCommit reports false.
+func (tx *Tx) tryCommit() bool {
+	if tx.readOnly && tx.mode != modeSerial {
+		// Read-only fast path: no orecs to acquire, no clock bump —
+		// validating the read set is the entire commit.
+		if !tx.validateReads() {
+			tx.rollback(causeConflict)
+			return false
+		}
+		tx.status = txCommitted
+		return true
+	}
+	switch tx.mode {
+	case modeSerial:
+		tx.status = txCommitted
+		return true
+
+	case modeWriteThrough:
+		if !tx.validateReads() {
+			tx.rollback(causeConflict)
+			return false
+		}
+		wv := tx.e.clock.Add(1)
+		for i := range tx.owned {
+			tx.owned[i].o.release(wv)
+		}
+		tx.wakeWatchersForOwned()
+		tx.owned = tx.owned[:0]
+		tx.status = txCommitted
+		return true
+
+	default: // modeWriteBack, modeHTM
+		// Acquire all write orecs (encounter order; try-lock only).
+		for i := range tx.writes {
+			o := tx.writes[i].b.o
+			if tx.ownsOrec(o) {
+				continue
+			}
+			w := o.load()
+			if isLocked(w) || !o.cas(w, lockWord(tx.id)) {
+				tx.releaseOwnedToPrev()
+				tx.rollback(causeConflict)
+				return false
+			}
+			tx.owned = append(tx.owned, ownedEntry{o, versionOf(w)})
+		}
+		if !tx.validateReads() {
+			tx.releaseOwnedToPrev()
+			tx.rollback(causeConflict)
+			return false
+		}
+		wv := tx.e.clock.Add(1)
+		for i := range tx.writes {
+			tx.writes[i].b.val.Store(tx.writes[i].v)
+		}
+		for i := range tx.owned {
+			tx.owned[i].o.release(wv)
+		}
+		tx.wakeWatchersForOwned()
+		tx.owned = tx.owned[:0]
+		tx.status = txCommitted
+		return true
+	}
+}
+
+// releaseOwnedToPrev unlocks every orec this transaction holds, restoring
+// the pre-lock version (used when no published value changed).
+func (tx *Tx) releaseOwnedToPrev() {
+	for i := range tx.owned {
+		tx.owned[i].o.release(tx.owned[i].prev)
+	}
+	tx.owned = tx.owned[:0]
+}
+
+// rollback undoes this attempt's effects and runs abort handlers. Safe to
+// call once per attempt; the engine calls it when recovering an
+// abortSignal, and tryCommit calls it on validation failure.
+func (tx *Tx) rollback(cause abortCause) {
+	if tx.status == txAborted {
+		return
+	}
+	if tx.mode == modeWriteThrough && len(tx.undo) > 0 {
+		// Undo in reverse so the oldest pre-image wins.
+		for i := len(tx.undo) - 1; i >= 0; i-- {
+			u := tx.undo[i]
+			u.b.val.Store(u.old)
+		}
+	}
+	if len(tx.owned) > 0 {
+		if tx.mode == modeWriteThrough {
+			// Concurrent readers may have observed intermediate
+			// values; publish a fresh version to invalidate them.
+			wv := tx.e.clock.Add(1)
+			for i := range tx.owned {
+				tx.owned[i].o.release(wv)
+			}
+			tx.wakeWatchersForOwned()
+			tx.owned = tx.owned[:0]
+		} else {
+			tx.releaseOwnedToPrev()
+		}
+	}
+	tx.status = txAborted
+	for i := len(tx.onAbort) - 1; i >= 0; i-- {
+		tx.onAbort[i]()
+	}
+	tx.onAbort = nil
+	tx.onCommit = nil
+	st := &tx.e.Stats
+	st.Aborts.Inc()
+	switch cause {
+	case causeCapacity:
+		st.CapacityAborts.Inc()
+	case causeSyscall:
+		st.SyscallAborts.Inc()
+	case causeCancel:
+		st.ExplicitAborts.Inc()
+	case causeRetry:
+		st.RetryAborts.Inc()
+	default:
+		st.ConflictAborts.Inc()
+	}
+}
+
+// runCommitHandlers executes onCommit handlers in registration order.
+func (tx *Tx) runCommitHandlers() {
+	hs := tx.onCommit
+	tx.onCommit = nil
+	for _, f := range hs {
+		f()
+	}
+	if n := len(hs); n > 0 {
+		tx.e.Stats.HandlersRun.Add(int64(n))
+	}
+}

@@ -1,0 +1,102 @@
+package stm
+
+import "sync/atomic"
+
+// box wraps a value so that atomic.Value always stores one concrete type
+// per Var, even when T is an interface or when the value is T's zero value
+// (atomic.Value rejects nil interfaces).
+type box[T any] struct{ v T }
+
+// varBase is the type-erased part of a Var: the published value and the
+// ownership record it hashes to. Transaction logs hold *varBase, so the
+// engine core is free of type parameters.
+type varBase struct {
+	val atomic.Value // always holds box[T] for the owning Var's T
+	o   *orec
+	seq uint64
+}
+
+// Var is a transactional memory cell holding a value of type T. Create
+// Vars with NewVar; the zero value is not usable.
+//
+// Inside a transaction, access a Var with Read and Write. Outside any
+// transaction — during single-threaded initialization, or on data that has
+// been privatized (Section 3.3 of the paper: a condvar queue node removed
+// from the queue is owned by exactly one goroutine) — use LoadDirect and
+// StoreDirect.
+type Var[T any] struct {
+	base varBase
+}
+
+// NewVar allocates a transactional cell bound to engine e, holding init.
+func NewVar[T any](e *Engine, init T) *Var[T] {
+	v := &Var[T]{}
+	v.base.seq = e.varSeq.Add(1)
+	v.base.o = &e.orecs[orecIndex(v.base.seq, e.orecMask)]
+	v.base.val.Store(box[T]{init})
+	return v
+}
+
+// LoadDirect reads the cell without transactional instrumentation. Only
+// correct when no concurrent transaction may be writing the cell (e.g.
+// privatized data, or quiescent points such as test assertions after all
+// workers joined).
+func (v *Var[T]) LoadDirect() T {
+	return v.base.val.Load().(box[T]).v
+}
+
+// StoreDirect writes the cell without transactional instrumentation. See
+// LoadDirect for when this is legal. This reproduces the unsynchronized
+// store on line 1 of the paper's WAIT (Algorithm 4): the node is private
+// to its owner at that point.
+func (v *Var[T]) StoreDirect(x T) {
+	v.base.val.Store(box[T]{x})
+}
+
+// Read returns the value of v inside transaction tx, recording the read
+// for validation. It aborts (by panicking with an internal signal caught
+// by Atomic) if a conflict is detected.
+func Read[T any](tx *Tx, v *Var[T]) T {
+	tx.ensureActive("Read")
+	b := &v.base
+	switch tx.mode {
+	case modeSerial:
+		return b.val.Load().(box[T]).v
+	case modeWriteBack, modeHTM:
+		if cur, ok := tx.findWrite(b); ok {
+			return cur.(box[T]).v
+		}
+		return tx.readShared(b).(box[T]).v
+	default: // modeWriteThrough
+		if tx.ownsOrec(b.o) {
+			// We hold the lock; the published value is our own
+			// write (or a stable pre-image nobody else can touch).
+			return b.val.Load().(box[T]).v
+		}
+		return tx.readShared(b).(box[T]).v
+	}
+}
+
+// Write sets the value of v inside transaction tx. It panics inside a
+// read-only (AtomicRead) transaction.
+func Write[T any](tx *Tx, v *Var[T], x T) {
+	tx.ensureActive("Write")
+	if tx.readOnly {
+		panic("stm: Write inside a read-only (AtomicRead) transaction")
+	}
+	b := &v.base
+	switch tx.mode {
+	case modeSerial:
+		b.val.Store(box[T]{x})
+	case modeWriteBack, modeHTM:
+		tx.bufferWrite(b, box[T]{x})
+	default: // modeWriteThrough
+		tx.writeThrough(b, box[T]{x})
+	}
+}
+
+// Modify applies f to the current value of v and stores the result, all
+// within tx. It is sugar for a Read followed by a Write.
+func Modify[T any](tx *Tx, v *Var[T], f func(T) T) {
+	Write(tx, v, f(Read(tx, v)))
+}

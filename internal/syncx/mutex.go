@@ -1,0 +1,53 @@
+// Package syncx supplies the synchronization-context machinery of the
+// paper's Algorithm 4: a from-scratch mutex, and the Sync abstraction that
+// lets WAIT complete "the enclosing sync block" whether that block is a
+// lock-based critical section, a (possibly nested) monitor, a memory
+// transaction, or nothing at all.
+package syncx
+
+import (
+	"sync/atomic"
+
+	"repro/internal/sem"
+)
+
+// Mutex is a mutual-exclusion lock built on the package sem counting
+// semaphore (the classic "benaphore": an atomic acquisition counter with a
+// semaphore slow path). It is the lock used by all lock-based PARSEC
+// configurations, so the pthread-condvar baseline and the TM-condvar
+// systems contend on identical lock machinery.
+//
+// The zero value is an unlocked mutex. A Mutex must not be copied after
+// first use.
+type Mutex struct {
+	u atomic.Int32 // number of goroutines that have passed Lock's gate
+	s sem.Sem      // parking lot for the losers
+}
+
+// Lock acquires the mutex, descheduling the caller if it is held.
+func (m *Mutex) Lock() {
+	if m.u.Add(1) > 1 {
+		m.s.Wait()
+	}
+}
+
+// TryLock acquires the mutex only if it is free, reporting success.
+func (m *Mutex) TryLock() bool {
+	return m.u.CompareAndSwap(0, 1)
+}
+
+// Unlock releases the mutex, waking one parked waiter if present. It
+// panics if the mutex is not locked.
+func (m *Mutex) Unlock() {
+	n := m.u.Add(-1)
+	switch {
+	case n < 0:
+		panic("syncx: Unlock of unlocked Mutex")
+	case n > 0:
+		m.s.Post()
+	}
+}
+
+// Locked reports whether the mutex is currently held (racy; intended for
+// assertions and tests).
+func (m *Mutex) Locked() bool { return m.u.Load() > 0 }

@@ -1,0 +1,144 @@
+package syncx
+
+import "repro/internal/stm"
+
+// Sync describes the synchronization context enclosing a call to the
+// condition variable's WAIT — the `Sync` parameter of the paper's
+// Algorithm 4. Implementations exist for lock-based critical sections
+// (including nested monitors), transactions, and unsynchronized code.
+type Sync interface {
+	// End completes the enclosing sync block (EndSyncBlock, Algorithm 4
+	// line 9): it releases every held lock, or commits the running
+	// transaction early. After End the caller holds no resources another
+	// thread could need, so it is safe to deschedule.
+	End()
+
+	// Exec runs cont under the same synchronization mechanism the
+	// context describes (Algorithm 4 lines 11–13): re-acquiring the
+	// locks in order, or starting a fresh transaction. The Sync passed
+	// to cont is the re-established context (for transactions it wraps
+	// the new Tx).
+	Exec(cont func(Sync))
+
+	// Tx returns the live transaction of a transactional context, or nil
+	// for lock-based and naked contexts. The condvar uses it to
+	// flat-nest its internal queue transaction (Section 4.3) and to
+	// defer SEMPOST to the outer commit.
+	Tx() *stm.Tx
+}
+
+// LockSync is a Sync over one or more Mutexes the caller currently holds.
+// With more than one mutex it models the nested-monitor case of Section
+// 4.1: End releases every lock (innermost first) and Exec re-acquires them
+// outermost-first, the discipline Wettstein's nested-monitor treatment
+// prescribes.
+type LockSync struct {
+	mus []*Mutex
+}
+
+// NewLockSync wraps mutexes the caller holds, listed outermost first.
+func NewLockSync(mus ...*Mutex) *LockSync {
+	if len(mus) == 0 {
+		panic("syncx: NewLockSync with no mutexes")
+	}
+	return &LockSync{mus: mus}
+}
+
+// End releases all locks, innermost first.
+func (s *LockSync) End() {
+	for i := len(s.mus) - 1; i >= 0; i-- {
+		s.mus[i].Unlock()
+	}
+}
+
+// Exec re-acquires all locks outermost-first, runs cont, and releases
+// them again.
+func (s *LockSync) Exec(cont func(Sync)) {
+	for _, m := range s.mus {
+		m.Lock()
+	}
+	defer func() {
+		for i := len(s.mus) - 1; i >= 0; i-- {
+			s.mus[i].Unlock()
+		}
+	}()
+	cont(s)
+}
+
+// Tx returns nil: lock contexts have no transaction.
+func (s *LockSync) Tx() *stm.Tx { return nil }
+
+// Reacquire takes the locks back (outermost first) without running a
+// continuation — the legacy, non-CPS WAIT shape where the caller's own
+// code after WAIT is the continuation.
+func (s *LockSync) Reacquire() {
+	for _, m := range s.mus {
+		m.Lock()
+	}
+}
+
+// TxnSync is a Sync over a running transaction. End commits the
+// transaction early (punctuation); Exec runs the continuation as a fresh
+// transaction on the same engine with full retry semantics, re-created at
+// the flat-nesting depth the original context had (Section 4.3: "when
+// WAIT begins a new transactional context ... it must set the counter
+// appropriately").
+type TxnSync struct {
+	e     *stm.Engine
+	tx    *stm.Tx
+	depth int
+}
+
+// NewTxnSync wraps a live transaction, capturing its nesting depth.
+func NewTxnSync(tx *stm.Tx) *TxnSync {
+	return &TxnSync{e: tx.Engine(), tx: tx, depth: tx.Depth()}
+}
+
+// End commits the transaction now. The remainder of the enclosing atomic
+// function runs unsynchronized; see stm.Tx.CommitEarly.
+func (s *TxnSync) End() {
+	tx := s.tx
+	s.tx = nil
+	tx.CommitEarly()
+}
+
+// Exec runs cont in a new transaction on the same engine. If the
+// continuation's transaction aborts, only the continuation re-executes —
+// the property that motivates the continuation-passing API in Section 4.2.
+// The new context is re-nested to the depth the original had, so
+// flat-nesting counters observed by the continuation match the punctuated
+// transaction's.
+func (s *TxnSync) Exec(cont func(Sync)) {
+	s.e.MustAtomic(func(tx *stm.Tx) {
+		renest(tx, s.depth, func(inner *stm.Tx) {
+			cont(NewTxnSync(inner))
+		})
+	})
+}
+
+// renest wraps f in d flat-nested atomic blocks.
+func renest(tx *stm.Tx, d int, f func(*stm.Tx)) {
+	if d <= 0 {
+		f(tx)
+		return
+	}
+	tx.Atomic(func(inner *stm.Tx) { renest(inner, d-1, f) })
+}
+
+// Tx returns the live transaction, or nil after End.
+func (s *TxnSync) Tx() *stm.Tx { return s.tx }
+
+// NakedSync is the empty context: WAIT called from unsynchronized code.
+// The paper permits this for NOTIFY ("naked notifies") and, with care, for
+// WAIT; the condvar's internal transactions keep the queue race-free
+// regardless of the caller's context.
+type NakedSync struct{}
+
+// End is a no-op.
+func (NakedSync) End() {}
+
+// Exec runs cont directly.
+func (n NakedSync) Exec(cont func(Sync)) { cont(n) }
+
+// Tx returns nil.
+func (NakedSync) Tx() *stm.Tx { return nil }

@@ -1,0 +1,228 @@
+package syncx
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stm"
+)
+
+func TestMutexMutualExclusion(t *testing.T) {
+	var m Mutex
+	counter := 0
+	var wg sync.WaitGroup
+	const goroutines, iters = 8, 2000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				m.Lock()
+				counter++
+				m.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		t.Fatalf("counter = %d, want %d", counter, goroutines*iters)
+	}
+}
+
+func TestMutexTryLock(t *testing.T) {
+	var m Mutex
+	if !m.TryLock() {
+		t.Fatal("TryLock on free mutex failed")
+	}
+	if m.TryLock() {
+		t.Fatal("TryLock on held mutex succeeded")
+	}
+	m.Unlock()
+	if !m.TryLock() {
+		t.Fatal("TryLock after Unlock failed")
+	}
+	m.Unlock()
+}
+
+func TestMutexUnlockUnlockedPanics(t *testing.T) {
+	var m Mutex
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unlock of unlocked mutex did not panic")
+		}
+	}()
+	m.Unlock()
+}
+
+func TestMutexLocked(t *testing.T) {
+	var m Mutex
+	if m.Locked() {
+		t.Fatal("fresh mutex reports locked")
+	}
+	m.Lock()
+	if !m.Locked() {
+		t.Fatal("held mutex reports unlocked")
+	}
+	m.Unlock()
+}
+
+func TestMutexBlocksSecondLocker(t *testing.T) {
+	var m Mutex
+	m.Lock()
+	got := make(chan struct{})
+	go func() {
+		m.Lock()
+		close(got)
+	}()
+	select {
+	case <-got:
+		t.Fatal("second Lock did not block")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.Unlock()
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked locker never woke")
+	}
+	m.Unlock()
+}
+
+func TestLockSyncEndReleasesAll(t *testing.T) {
+	var a, b Mutex
+	a.Lock()
+	b.Lock()
+	s := NewLockSync(&a, &b)
+	s.End()
+	if a.Locked() || b.Locked() {
+		t.Fatal("End left a lock held")
+	}
+}
+
+func TestLockSyncExecHoldsLocksDuringCont(t *testing.T) {
+	var a, b Mutex
+	a.Lock()
+	b.Lock()
+	s := NewLockSync(&a, &b)
+	s.End()
+	ran := false
+	s.Exec(func(inner Sync) {
+		ran = true
+		if inner.Tx() != nil {
+			t.Error("lock sync reports a transaction")
+		}
+		if !a.Locked() || !b.Locked() {
+			t.Error("continuation ran without the locks")
+		}
+	})
+	if !ran {
+		t.Fatal("continuation did not run")
+	}
+	if a.Locked() || b.Locked() {
+		t.Fatal("Exec leaked a lock")
+	}
+}
+
+func TestLockSyncReacquire(t *testing.T) {
+	var m Mutex
+	m.Lock()
+	s := NewLockSync(&m)
+	s.End()
+	s.Reacquire()
+	if !m.Locked() {
+		t.Fatal("Reacquire did not take the lock")
+	}
+	m.Unlock()
+}
+
+func TestNewLockSyncEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for empty lock list")
+		}
+	}()
+	NewLockSync()
+}
+
+func TestTxnSyncEndCommitsEarly(t *testing.T) {
+	e := stm.NewEngine(stm.Config{})
+	v := stm.NewVar(e, 0)
+	e.MustAtomic(func(tx *stm.Tx) {
+		stm.Write(tx, v, 5)
+		s := NewTxnSync(tx)
+		if s.Tx() != tx {
+			t.Error("Tx() mismatch")
+		}
+		s.End()
+		if s.Tx() != nil {
+			t.Error("Tx() non-nil after End")
+		}
+		// Committed: visible immediately.
+		if got := v.LoadDirect(); got != 5 {
+			t.Errorf("after End v = %d, want 5", got)
+		}
+	})
+}
+
+func TestTxnSyncExecRunsFreshTxn(t *testing.T) {
+	e := stm.NewEngine(stm.Config{})
+	v := stm.NewVar(e, 0)
+	var s *TxnSync
+	e.MustAtomic(func(tx *stm.Tx) {
+		s = NewTxnSync(tx)
+		s.End()
+	})
+	s.Exec(func(inner Sync) {
+		tx := inner.Tx()
+		if tx == nil || !tx.Active() {
+			t.Fatal("continuation has no live transaction")
+		}
+		stm.Write(tx, v, 9)
+	})
+	if got := v.LoadDirect(); got != 9 {
+		t.Fatalf("v = %d, want 9", got)
+	}
+}
+
+func TestNakedSync(t *testing.T) {
+	var n NakedSync
+	n.End() // must not panic
+	ran := false
+	n.Exec(func(s Sync) {
+		ran = true
+		if s.Tx() != nil {
+			t.Error("naked sync has a transaction")
+		}
+	})
+	if !ran {
+		t.Fatal("continuation did not run")
+	}
+}
+
+func TestNestedMonitorOrdering(t *testing.T) {
+	// Two goroutines using {outer, inner} must not deadlock when Exec
+	// re-acquires outermost-first.
+	var outer, inner Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				outer.Lock()
+				inner.Lock()
+				s := NewLockSync(&outer, &inner)
+				s.End()
+				s.Exec(func(Sync) {})
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("nested monitor exercise deadlocked")
+	}
+}
