@@ -1,0 +1,91 @@
+// Command cvlint statically checks uses of the condvar/STM API for the
+// misuse patterns the Go type system cannot reject: transactions escaping
+// their atomic block, un-deferred side effects inside transaction bodies,
+// direct Var access mixed with transactional access, condvar waits with no
+// predicate re-check loop, and notifies that advertise no state change.
+//
+// Usage:
+//
+//	cvlint [flags] [packages]
+//
+//	cvlint ./...                      # whole module (the CI invocation)
+//	cvlint -checks waitloop ./...     # one analyzer
+//	cvlint -tests ./internal/core     # include in-package _test.go files
+//	cvlint -list                      # describe the analyzer suite
+//
+// Exit status is 1 when diagnostics are reported, 2 on usage or load
+// errors. Suppress an individual finding with a justified directive:
+//
+//	n.next.StoreDirect(nil) // cvlint:ignore directstore node is private here
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	checks := flag.String("checks", "all", "comma-separated checks to run (see -list)")
+	tests := flag.Bool("tests", false, "also analyze in-package _test.go files")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	debug := flag.Bool("debug", false, "print soft type-check errors (analysis is best-effort under them)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := lint.ByName(*checks)
+	if err != nil {
+		fail(err)
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fail(err)
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fail(err)
+	}
+	loader.IncludeTests = *tests
+	dirs, err := lint.ExpandPatterns(cwd, flag.Args())
+	if err != nil {
+		fail(err)
+	}
+
+	found := 0
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fail(fmt.Errorf("loading %s: %w", dir, err))
+		}
+		if *debug {
+			for _, te := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "cvlint: typecheck %s: %v\n", pkg.Path, te)
+			}
+		}
+		for _, d := range lint.Run(pkg, analyzers) {
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil {
+				d.Pos.Filename = rel
+			}
+			fmt.Println(d)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "cvlint: %d problem(s) found\n", found)
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cvlint:", err)
+	os.Exit(2)
+}

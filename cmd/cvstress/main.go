@@ -79,6 +79,7 @@ func runSpurious(n int, baseline bool) bool {
 			go func() {
 				defer wg.Done()
 				m.Lock()
+				// cvlint:ignore waitloop harness measures raw spurious wake-ups, a loop would hide them
 				c.Wait(&m)
 				m.Unlock()
 			}()
@@ -100,6 +101,7 @@ func runSpurious(n int, baseline bool) bool {
 		go func() {
 			defer wg.Done()
 			m.Lock()
+			// cvlint:ignore waitloop harness counts exact wake-ups, a predicate loop would mask extras
 			cv.WaitLocked(&m)
 			m.Unlock()
 			woken.Add(1)
@@ -191,6 +193,7 @@ func runTimed(iters int) bool {
 		res := make(chan bool, 1)
 		go func() {
 			m.Lock()
+			// cvlint:ignore waitloop harness probes the timeout/notify race one-shot by design
 			res <- cv.WaitLockedTimeout(&m, time.Duration(i%5)*100*time.Microsecond)
 		}()
 		time.Sleep(time.Duration(i%7) * 50 * time.Microsecond)
@@ -223,6 +226,7 @@ func runStorm(goroutines, iters int) bool {
 		go func() {
 			defer wg.Done()
 			m.Lock()
+			// cvlint:ignore waitloop harness counts exact wake-ups, a predicate loop would mask extras
 			cv.WaitLocked(&m)
 			m.Unlock()
 			woken.Add(1)

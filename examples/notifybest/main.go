@@ -39,7 +39,11 @@ func main() {
 			defer wg.Done()
 			m.Lock()
 			s := syncx.NewLockSync(&m)
-			// The tag describes the predicate this thread waits on.
+			// The tag describes the predicate this thread waits on. This
+			// is a direct hand-off: NotifyBest's victim selection IS the
+			// state change, so there is no separate predicate to re-check
+			// in a loop.
+			// cvlint:ignore waitloop direct hand-off via NotifyBest selection
 			cv.WaitTagged(s, request{id: i, size: sz}, nil)
 			order <- i
 			fmt.Printf("worker %d (size %d) granted\n", i, sz)
@@ -53,6 +57,7 @@ func main() {
 	// request that fits — a policy no kernel wait queue can express.
 	for _, capacity := range []int{60, 35, 80, 1000, 1000} {
 		capacity := capacity
+		// cvlint:ignore nakednotify the granted capacity is handed off via the selector, not shared state
 		woke := cv.NotifyBest(nil, func(tag any) int64 {
 			r, ok := tag.(request)
 			if !ok || r.size > capacity {

@@ -96,21 +96,33 @@ func main() {
 	}
 
 	// A lock-based critical section interoperating with the same engine:
-	// signal a waiter that parked under a mutex.
+	// signal a waiter that parked under a mutex. The waiter re-checks its
+	// predicate (`signaled`, protected by m) in a loop — the condvar never
+	// wakes spuriously, but the loop keeps the code correct if a second
+	// predicate ever shares this condvar (wake-ups are oblivious).
 	var m syncx.Mutex
 	cv := core.New(e, core.Options{})
+	signaled := false // protected by m
 	ready := make(chan struct{})
+	woken := make(chan struct{})
 	go func() {
 		m.Lock()
 		close(ready)
-		cv.WaitLocked(&m) // pthread_cond_wait shape, minus spurious wake-ups
+		for !signaled {
+			cv.WaitLocked(&m) // pthread_cond_wait shape, minus spurious wake-ups
+		}
 		m.Unlock()
 		fmt.Println("lock-based waiter woken by a transactional notifier")
+		close(woken)
 	}()
 	<-ready
 	for cv.Len() == 0 {
 	}
+	m.Lock()
+	signaled = true
+	m.Unlock()
 	e.MustAtomic(func(tx *stm.Tx) { cv.NotifyOne(tx) })
+	<-woken
 
 	fmt.Printf("engine: %d commits, %d early commits (WAIT punctuations), %d aborts\n",
 		e.Stats.Commits.Load(), e.Stats.EarlyCommits.Load(), e.Stats.Aborts.Load())

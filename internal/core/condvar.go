@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sem"
@@ -61,6 +63,13 @@ type Node struct {
 	sem  *sem.Sem
 	next *stm.Var[*Node]
 	tag  *stm.Var[any] // optional predicate descriptor for NotifyBest
+
+	// Sanitizer bookkeeping (checked only when the engine's debug checks
+	// are on; see sanitize* below). inQueue tracks whether the node is
+	// reachable from the wait queue; gen counts pool recycles, so a
+	// notification that outlives the node it targeted is detected (ABA).
+	inQueue atomic.Bool
+	gen     atomic.Uint64
 }
 
 // CondVar is the paper's transaction-friendly condition variable
@@ -113,11 +122,26 @@ func (cv *CondVar) acquireNode() *Node {
 	return cv.pool.Get().(*Node)
 }
 
+// sanitizeOn reports whether the runtime sanitizer applies to this
+// condvar. ImmediatePost deliberately breaks the commit-deferral
+// protocol the checks encode (that is what the ablation measures), so it
+// disables them.
+func (cv *CondVar) sanitizeOn() bool {
+	return cv.e.DebugChecks() && !cv.opts.ImmediatePost
+}
+
 func (cv *CondVar) releaseNode(n *Node) {
+	if cv.sanitizeOn() && n.inQueue.Load() {
+		panic("core: sanitizer: condvar node released while still linked in the wait queue — the queue now holds a dangling entry whose wake-up the owner will never consume")
+	}
+	// Retire this incarnation: any notification still in flight against
+	// the old one is a bug the generation check will catch.
+	n.gen.Add(1)
+	n.inQueue.Store(false)
 	if cv.opts.NoNodePool {
 		return
 	}
-	n.tag.StoreDirect(nil)
+	n.tag.StoreDirect(nil) // cvlint:ignore directstore woken node is owner-private (Section 3.3)
 	cv.pool.Put(n)
 }
 
@@ -125,6 +149,14 @@ func (cv *CondVar) releaseNode(n *Node) {
 // caller is transactional, or running its own transaction otherwise
 // (Algorithm 4 lines 2–8).
 func (cv *CondVar) enqueue(tx *stm.Tx, n *Node) {
+	// The Swap runs once per enqueue (outside the retryable body): a node
+	// observed already-queued here is reachable from the queue twice,
+	// which corrupts the list the moment either incarnation is unlinked.
+	// An aborted enclosing transaction abandons its node (a fresh one is
+	// acquired on retry), so the flag is never stale on this path.
+	if n.inQueue.Swap(true) && cv.sanitizeOn() {
+		panic("core: sanitizer: condvar node enqueued while still linked in the wait queue (double WAIT on one node, or a recycled node the queue still references)")
+	}
 	body := func(tx *stm.Tx) {
 		switch cv.opts.Policy {
 		case LIFO:
@@ -167,7 +199,7 @@ func (cv *CondVar) enqueue(tx *stm.Tx, n *Node) {
 // NotifyOne/NotifyAll/NotifyBest posted this thread's semaphore.
 func (cv *CondVar) Wait(s syncx.Sync, cont func(syncx.Sync)) {
 	n := cv.acquireNode()
-	n.next.StoreDirect(nil) // line 1: the node is private here
+	n.next.StoreDirect(nil) // line 1: the node is private here; cvlint:ignore directstore privatized (Section 3.3)
 	cv.enqueue(s.Tx(), n)   // lines 2–8
 	s.End()                 // line 9: break atomicity
 	n.sem.Wait()            // line 10: sleep until notified
@@ -185,8 +217,8 @@ func (cv *CondVar) Wait(s syncx.Sync, cont func(syncx.Sync)) {
 // operation to describe the predicate upon which each thread is waiting").
 func (cv *CondVar) WaitTagged(s syncx.Sync, tag any, cont func(syncx.Sync)) {
 	n := cv.acquireNode()
-	n.next.StoreDirect(nil)
-	n.tag.StoreDirect(tag)
+	n.next.StoreDirect(nil) // cvlint:ignore directstore pre-enqueue: node is owner-private (Section 3.3)
+	n.tag.StoreDirect(tag)  // cvlint:ignore directstore pre-enqueue: node is owner-private (Section 3.3)
 	cv.enqueue(s.Tx(), n)
 	s.End()
 	n.sem.Wait()
@@ -206,7 +238,7 @@ func (cv *CondVar) WaitTagged(s syncx.Sync, tag any, cont func(syncx.Sync)) {
 // 12–13" variant).
 func (cv *CondVar) WaitLocked(m *syncx.Mutex) {
 	n := cv.acquireNode()
-	n.next.StoreDirect(nil)
+	n.next.StoreDirect(nil) // cvlint:ignore directstore pre-enqueue: node is owner-private (Section 3.3)
 	cv.enqueue(nil, n)
 	m.Unlock()
 	n.sem.Wait()
@@ -228,7 +260,7 @@ func (cv *CondVar) WaitLocked(m *syncx.Mutex) {
 // reports true. No wake-up is ever lost and no node leaks.
 func (cv *CondVar) WaitLockedTimeout(m *syncx.Mutex, d time.Duration) bool {
 	n := cv.acquireNode()
-	n.next.StoreDirect(nil)
+	n.next.StoreDirect(nil) // cvlint:ignore directstore pre-enqueue: node is owner-private (Section 3.3)
 	cv.enqueue(nil, n)
 	m.Unlock()
 	if n.sem.WaitTimeout(d) {
@@ -280,6 +312,9 @@ func (cv *CondVar) removeNode(target *Node) bool {
 					stm.Write(tx, cv.tail, prev)
 				}
 				found = true
+				// The unlink becomes real only if this transaction
+				// commits; clear the reachability flag at that point.
+				tx.OnCommit(func() { target.inQueue.Store(false) })
 				return
 			}
 			prev = n
@@ -307,7 +342,7 @@ func (cv *CondVar) removeNode(target *Node) bool {
 // condvar), not spurious ones — there are none.
 func (cv *CondVar) WaitTx(tx *stm.Tx) {
 	n := cv.acquireNode()
-	n.next.StoreDirect(nil)
+	n.next.StoreDirect(nil) // cvlint:ignore directstore pre-enqueue: node is owner-private (Section 3.3)
 	cv.enqueue(tx, n)
 	tx.CommitEarly()
 	n.sem.Wait()
@@ -340,7 +375,7 @@ func (cv *CondVar) WaitTx(tx *stm.Tx) {
 //	}
 func (cv *CondVar) WaitAtCommit(tx *stm.Tx) {
 	n := cv.acquireNode()
-	n.next.StoreDirect(nil)
+	n.next.StoreDirect(nil) // cvlint:ignore directstore pre-enqueue: node is owner-private (Section 3.3)
 	cv.enqueue(tx, n)
 	tx.OnCommit(func() {
 		n.sem.Wait()
@@ -359,10 +394,24 @@ func (cv *CondVar) notifyPost(tx *stm.Tx, n *Node) {
 		if tx != nil && cv.opts.ImmediatePost {
 			tx.Syscall() // a real HTM would abort here; make the sim do so
 		}
+		n.inQueue.Store(false)
 		n.sem.Post()
 		return
 	}
-	tx.OnCommit(func() { n.sem.Post() })
+	// Capture the node's incarnation at dequeue time: the commit handler
+	// must wake the waiter that was unlinked, not whoever owns a recycled
+	// node later (ABA). The body may re-run on conflict; each attempt
+	// re-captures against its own dequeue.
+	gen := n.gen.Load()
+	tx.OnCommit(func() {
+		if cv.sanitizeOn() && n.gen.Load() != gen {
+			panic(fmt.Sprintf(
+				"core: sanitizer: notification committed against a recycled condvar node (generation %d at dequeue, %d at post) — the wake-up would go to the wrong waiter (ABA)",
+				gen, n.gen.Load()))
+		}
+		n.inQueue.Store(false)
+		n.sem.Post()
+	})
 }
 
 // NotifyOne is Algorithm 5: dequeue one waiter (per the Policy) and
@@ -453,21 +502,19 @@ func (cv *CondVar) NotifyAll(tx *stm.Tx) int {
 // kernel state, which is why the oblivious NotifyAll pattern exists.
 func (cv *CondVar) NotifyBest(tx *stm.Tx, score func(tag any) int64) bool {
 	found := false
+	depth := 0
 	body := func(tx *stm.Tx) {
 		found = false
 		var best, bestPrev *Node
 		bestScore := int64(-1)
 		var prev *Node
-		depth := 0
+		depth = 0
 		for n := stm.Read(tx, cv.head); n != nil; n = stm.Read(tx, n.next) {
 			depth++
 			if s := score(stm.Read(tx, n.tag)); s > bestScore {
 				best, bestPrev, bestScore = n, prev, s
 			}
 			prev = n
-		}
-		if cv.st != nil {
-			cv.st.MaxQueue.Observe(int64(depth))
 		}
 		if best == nil {
 			return
@@ -491,6 +538,10 @@ func (cv *CondVar) NotifyBest(tx *stm.Tx, score func(tag any) int64) bool {
 		cv.e.MustAtomic(body)
 	}
 	if cv.st != nil {
+		// Observed here, after the block committed: the body's depth count
+		// on an aborted attempt may come from an inconsistent snapshot,
+		// and Max never shrinks, so a bogus observation would stick.
+		cv.st.MaxQueue.Observe(int64(depth))
 		if found {
 			cv.st.NotifyOnes.Inc()
 			cv.st.Woken.Inc()

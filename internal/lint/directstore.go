@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerDirectStore flags StoreDirect/LoadDirect on an stm.Var that the
+// same file also accesses transactionally (stm.Read/Write/Modify). Direct
+// access is legal only on privatized data (Section 3.3: a condvar node
+// removed from the queue is owned by exactly one goroutine); mixing the
+// two disciplines on the same cell is how the unsynchronized-store races
+// the paper's argument excludes sneak back in.
+//
+// Granularity: accesses are keyed by the declared variable or struct field
+// holding the Var (e.g. the field Node.next, or a local `buf`), and mixing
+// is detected per file. Cross-file mixing within a package is not
+// reported — file-level mixing is the high-signal case, and the deliberate
+// privatization idiom (direct store on a freshly-owned node a few lines
+// from the transactional enqueue) is exactly file-local, where an explicit
+// justification is cheap:
+//
+//	n.next.StoreDirect(nil) // cvlint:ignore directstore node is private here (Section 3.3)
+var AnalyzerDirectStore = &Analyzer{
+	Name: "directstore",
+	Doc:  "detect direct Var access mixed with transactional access in one file",
+	Run:  runDirectStore,
+}
+
+func runDirectStore(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		type directUse struct {
+			pos  ast.Node
+			name string
+			op   string
+		}
+		direct := map[types.Object][]directUse{}
+		txn := map[types.Object]bool{}
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// Direct access: v.StoreDirect(x) / v.LoadDirect().
+			if recv, name, ok := methodCall(info, call); ok &&
+				(name == "StoreDirect" || name == "LoadDirect") &&
+				recv.Obj().Name() == "Var" && pathIs(recv.Obj().Pkg(), stmPathSuffix) {
+				if sel, isSel := call.Fun.(*ast.SelectorExpr); isSel {
+					if obj := varObject(info, sel.X); obj != nil {
+						direct[obj] = append(direct[obj], directUse{call, exprString(sel.X), name})
+					}
+				}
+				return true
+			}
+			// Transactional access: stm.Read(tx, v) / stm.Write(tx, v, x)
+			// / stm.Modify(tx, v, f).
+			if pkgPath, name, ok := pkgFuncCall(info, call); ok &&
+				(name == "Read" || name == "Write" || name == "Modify") &&
+				pathStrIs(pkgPath, stmPathSuffix) &&
+				len(call.Args) >= 2 {
+				if obj := varObject(info, call.Args[1]); obj != nil {
+					txn[obj] = true
+				}
+			}
+			return true
+		})
+
+		for obj, uses := range direct {
+			if !txn[obj] {
+				continue
+			}
+			for _, u := range uses {
+				pass.Report(u.pos.Pos(), "directstore",
+					"%s on %s, which this file also accesses transactionally: direct access is only legal on privatized data — if that is the case here, annotate with a cvlint:ignore directstore comment stating why",
+					u.op, u.name)
+			}
+		}
+	}
+}
+
+// varObject resolves the object identifying which Var a receiver
+// expression denotes: the field object for a selector (n.next → Node.next)
+// or the variable object for an identifier. Returns nil for expressions
+// with no stable identity (function results, index expressions).
+func varObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := info.ObjectOf(e); obj != nil && isStmVar(obj.Type()) {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if s := info.Selections[e]; s != nil && s.Kind() == types.FieldVal && isStmVar(s.Obj().Type()) {
+			return s.Obj()
+		}
+		// Package-qualified global: pkg.V
+		if obj := info.ObjectOf(e.Sel); obj != nil && isStmVar(obj.Type()) {
+			return obj
+		}
+	case *ast.ParenExpr:
+		return varObject(info, e.X)
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerImpureTxn flags observable side effects inside a transaction
+// body. An optimistic transaction body may run many times (conflict
+// retries) or zero observable times (abort), so anything a failed attempt
+// cannot undo must be routed through tx.OnCommit — exactly the paper's
+// treatment of SEMPOST (Algorithm 5 line 9). The check reports, inside a
+// function literal passed to Engine.Atomic/MustAtomic/AtomicRead or
+// Tx.Atomic:
+//
+//   - channel sends;
+//   - fmt.Print*/Fprint* and the print/println builtins;
+//   - any call into package os;
+//   - time.Sleep;
+//   - sem.Sem Post/PostN (and Wait, which can deadlock a retrying body).
+//
+// False-positive policy: AtomicRelaxed bodies are exempt (relaxed
+// transactions are irrevocable and may perform I/O, Section 4.2); handler
+// literals passed to tx.OnCommit/tx.OnAbort are exempt (they run outside
+// the attempt); calls in helper functions that merely receive a *stm.Tx
+// are not analyzed (no interprocedural analysis), so factoring an effect
+// into a helper hides it — route it through OnCommit instead.
+var AnalyzerImpureTxn = &Analyzer{
+	Name: "impuretxn",
+	Doc:  "detect observable side effects inside transaction bodies",
+	Run:  runImpureTxn,
+}
+
+func runImpureTxn(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			lit, kind := atomicBlock(info, call)
+			if lit == nil || kind != atomicOptimistic {
+				return true
+			}
+			checkTxnBody(pass, info, lit)
+			return true
+		})
+	}
+}
+
+// checkTxnBody walks one transaction body, skipping OnCommit/OnAbort
+// handler literals (their bodies execute outside the attempt).
+func checkTxnBody(pass *Pass, info *types.Info, body *ast.FuncLit) {
+	ast.Inspect(body.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Report(n.Pos(), "impuretxn",
+				"channel send inside a transaction body: the body may run multiple times; send from a tx.OnCommit handler instead")
+		case *ast.CallExpr:
+			if handlerLit(info, n) != nil {
+				return false // handler body runs outside the attempt
+			}
+			reportImpureCall(pass, info, n)
+		}
+		return true
+	})
+}
+
+func reportImpureCall(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	// print/println builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, isB := info.Uses[id].(*types.Builtin); isB {
+			if name := b.Name(); name == "print" || name == "println" {
+				pass.Report(call.Pos(), "impuretxn",
+					"%s inside a transaction body: output repeats on every conflict retry; defer via tx.OnCommit", name)
+			}
+		}
+		return
+	}
+	if pkgPath, name, ok := pkgFuncCall(info, call); ok {
+		switch {
+		case pkgPath == "fmt" && (len(name) > 4 && name[:5] == "Print" || len(name) > 5 && name[:6] == "Fprint"):
+			pass.Report(call.Pos(), "impuretxn",
+				"fmt.%s inside a transaction body: output repeats on every conflict retry; defer via tx.OnCommit", name)
+		case pkgPath == "os":
+			pass.Report(call.Pos(), "impuretxn",
+				"os.%s inside a transaction body: I/O cannot be rolled back (and aborts a hardware transaction); use AtomicRelaxed or tx.OnCommit", name)
+		case pkgPath == "time" && name == "Sleep":
+			pass.Report(call.Pos(), "impuretxn",
+				"time.Sleep inside a transaction body: the attempt holds orecs while sleeping, stalling every conflicting transaction")
+		}
+		return
+	}
+	if recv, name, ok := methodCall(info, call); ok {
+		if pathIs(recv.Obj().Pkg(), semPathSuffix) && recv.Obj().Name() == "Sem" {
+			switch name {
+			case "Post", "PostN":
+				pass.Report(call.Pos(), "impuretxn",
+					"sem.%s inside a transaction body wakes threads even if the attempt aborts; register it with tx.OnCommit (Algorithm 5 line 9)", name)
+			case "Wait", "WaitTimeout":
+				pass.Report(call.Pos(), "impuretxn",
+					"sem.%s inside a transaction body can sleep while holding orecs and deadlock against its own notifier; use CondVar.WaitTx", name)
+			}
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Package lint implements cvlint, a static misuse analyzer for the
+// condvar/STM API of this repository. It is built exclusively on the
+// standard library (go/ast, go/parser, go/types) — no external analysis
+// frameworks — because the Go type system cannot express the disciplines
+// the paper's correctness argument depends on: transactions must not
+// escape their atomic block, side effects must be deferred to commit, and
+// direct (non-transactional) Var access is legal only on privatized data.
+//
+// Five analyzers enforce those disciplines; see their files for the exact
+// rules and the false-positive policy of each:
+//
+//	txescape     *stm.Tx escaping its atomic block
+//	impuretxn    observable side effects inside a transaction body
+//	directstore  StoreDirect/LoadDirect mixed with transactional access
+//	waitloop     condvar Wait without an enclosing predicate re-check loop
+//	nakednotify  Notify with no preceding shared-state write
+//
+// A diagnostic can be suppressed by a comment directive on the same line
+// or the line above:
+//
+//	// cvlint:ignore directstore node is privatized here (Section 3.3)
+//
+// The directive names one or more comma-separated checks and should carry
+// a justification; "cvlint:ignore all" silences every check for the line.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one reported misuse.
+type Diagnostic struct {
+	Pos   token.Position
+	Check string
+	Msg   string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Check, d.Msg)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Pkg    *Package
+	report func(Diagnostic)
+}
+
+// Report records a diagnostic at pos.
+func (p *Pass) Report(pos token.Pos, check, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:   p.Pkg.Fset.Position(pos),
+		Check: check,
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns every analyzer in the suite, sorted by name.
+func All() []*Analyzer {
+	as := []*Analyzer{
+		AnalyzerTxEscape,
+		AnalyzerImpureTxn,
+		AnalyzerDirectStore,
+		AnalyzerWaitLoop,
+		AnalyzerNakedNotify,
+	}
+	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
+	return as
+}
+
+// ByName resolves a comma-separated list of check names ("all" or empty
+// selects the whole suite).
+func ByName(list string) ([]*Analyzer, error) {
+	if list == "" || list == "all" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(list, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown check %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run executes the analyzers over pkg and returns the diagnostics that
+// survive cvlint:ignore filtering, sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Pkg:    pkg,
+			report: func(d Diagnostic) { diags = append(diags, d) },
+		}
+		a.Run(pass)
+	}
+	diags = filterIgnored(pkg, diags)
+	// Dedupe: nested atomic blocks make some sites reachable from two
+	// enclosing bodies.
+	seen := map[Diagnostic]bool{}
+	uniq := diags[:0]
+	for _, d := range diags {
+		if !seen[d] {
+			seen[d] = true
+			uniq = append(uniq, d)
+		}
+	}
+	diags = uniq
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Check < diags[j].Check
+	})
+	return diags
+}
+
+var ignoreRE = regexp.MustCompile(`cvlint:ignore\s+([a-z,]+)`)
+
+// filterIgnored drops diagnostics covered by a cvlint:ignore directive. A
+// directive applies to its own source line and to the line below it, so it
+// works both as a trailing comment and as a standalone comment above the
+// flagged statement.
+func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
+	type key struct {
+		file string
+		line int
+	}
+	ignored := map[key]map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				checks := map[string]bool{}
+				for _, name := range strings.Split(m[1], ",") {
+					checks[strings.TrimSpace(name)] = true
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					k := key{pos.Filename, line}
+					if ignored[k] == nil {
+						ignored[k] = map[string]bool{}
+					}
+					for name := range checks {
+						ignored[k][name] = true
+					}
+				}
+			}
+		}
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		set := ignored[key{d.Pos.Filename, d.Pos.Line}]
+		if set != nil && (set[d.Check] || set["all"]) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// walkStack traverses root in source order, invoking fn with each node and
+// its ancestor chain (outermost first, not including n itself). Returning
+// false prunes the subtree.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

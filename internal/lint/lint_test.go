@@ -1,0 +1,50 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func fixture(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+func TestTxEscape(t *testing.T) {
+	linttest.Run(t, fixture("txescape"), lint.AnalyzerTxEscape)
+}
+
+func TestImpureTxn(t *testing.T) {
+	linttest.Run(t, fixture("impuretxn"), lint.AnalyzerImpureTxn)
+}
+
+func TestDirectStore(t *testing.T) {
+	linttest.Run(t, fixture("directstore"), lint.AnalyzerDirectStore)
+}
+
+func TestWaitLoop(t *testing.T) {
+	linttest.Run(t, fixture("waitloop"), lint.AnalyzerWaitLoop)
+}
+
+func TestNakedNotify(t *testing.T) {
+	linttest.Run(t, fixture("nakednotify"), lint.AnalyzerNakedNotify)
+}
+
+// TestByName pins the analyzer registry: every analyzer is reachable by
+// the name the -checks flag and the ignore directives use.
+func TestByName(t *testing.T) {
+	for _, a := range lint.All() {
+		got, err := lint.ByName(a.Name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", a.Name, err)
+		}
+		if len(got) != 1 || got[0] != a {
+			t.Fatalf("ByName(%q) = %v", a.Name, got)
+		}
+	}
+	if _, err := lint.ByName("nosuchcheck"); err == nil {
+		t.Fatal("ByName(nosuchcheck): expected error")
+	}
+}

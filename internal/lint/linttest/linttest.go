@@ -1,0 +1,90 @@
+// Package linttest is the fixture harness for the cvlint analyzers: it
+// loads a testdata package, runs analyzers over it, and matches the
+// diagnostics against `// want "regexp"` comments in the fixture source,
+// in the style of golang.org/x/tools' analysistest (re-implemented here on
+// the standard library only).
+//
+// A want comment declares one expected diagnostic on its own line; several
+// quoted regexps declare several diagnostics. Each regexp is matched
+// against "check: message". Diagnostics with no matching want, and wants
+// with no matching diagnostic, fail the test. Fixtures must type-check
+// cleanly — a misuse pattern that does not compile is not a pattern this
+// suite needs to catch.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads the package in dir and checks analyzers against its want
+// comments.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	for _, te := range pkg.TypeErrors {
+		t.Errorf("fixture does not type-check: %v", te)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	type want struct {
+		file    string
+		line    int
+		re      *regexp.Regexp
+		matched bool
+	}
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(q[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, q[1], err)
+					}
+					wants = append(wants, &want{pos.Filename, pos.Line, re, false})
+				}
+			}
+		}
+	}
+
+	for _, d := range lint.Run(pkg, analyzers) {
+		text := fmt.Sprintf("%s: %s", d.Check, d.Msg)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(text) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s: %s", d.Pos, text)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerNakedNotify flags NotifyOne/NotifyAll/NotifyBest (and the
+// Signal/Broadcast facades) in functions that contain no preceding write
+// to any stm.Var. A notify advertises a state change; notifying without
+// having changed shared state usually means the state change was
+// forgotten, happened on the wrong cell, or is sequenced after the notify
+// — the waiter then re-checks its predicate, finds it still false, and
+// sleeps again: the "lost" wake-up was real but carried no information.
+//
+// "Preceding write" means, positioned before the notify anywhere in the
+// enclosing function declaration (nested literals included — the
+// atomic-block idiom puts the writes inside a literal): an
+// stm.Write/stm.Modify or Var.StoreDirect call, or a plain mutating
+// assignment/IncDec (`q.n++`, `buf = append(buf, x)`) — lock-based
+// condvar users keep their predicate state in ordinary mutex-protected
+// memory, which is just as much a state change. Pure declarations
+// (`x := ...`) do not count.
+//
+// False-positive policy: biased strongly toward precision — any preceding
+// mutation exempts the notify, so only the high-signal "this function
+// changes nothing yet notifies" case is reported. Wrapper functions and
+// methods of synchronization facades (types with their own Wait method,
+// like core.LockCond or monitor.Cond) are exempt: there the state change
+// is the caller's responsibility. Deliberate notifications that carry no
+// predicate change (shutdown nudges) should be annotated with a
+// cvlint:ignore nakednotify comment.
+var AnalyzerNakedNotify = &Analyzer{
+	Name: "nakednotify",
+	Doc:  "detect notifies with no preceding shared-state write",
+	Run:  runNakedNotify,
+}
+
+var notifyMethodNames = map[string]bool{
+	"NotifyOne":  true,
+	"NotifyAll":  true,
+	"NotifyBest": true,
+	"Signal":     true,
+	"Broadcast":  true,
+}
+
+func runNakedNotify(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, name, ok := methodCall(info, call)
+			if !ok || !notifyMethodNames[name] || !isCondvarRecv(recv) {
+				return true
+			}
+			fd := enclosingFuncDecl(stack)
+			if fd == nil || fd.Body == nil {
+				return true
+			}
+			if isForwardingWrapper(fd, call) || isSyncFacadeMethod(info, fd) {
+				return true // facade layer: caller owns the state change
+			}
+			if !hasWriteBefore(info, fd.Body, call.Pos()) {
+				pass.Report(call.Pos(), "nakednotify",
+					"%s.%s with no preceding stm.Var write in %s: a notify should advertise a state change (write the predicate state first, or annotate a deliberate nudge with cvlint:ignore nakednotify)",
+					recv.Obj().Name(), name, fd.Name.Name)
+			}
+			return true
+		})
+	}
+}
+
+// hasWriteBefore reports whether body contains a state mutation positioned
+// before limit: an stm.Write/stm.Modify or Var.StoreDirect call, a
+// non-define assignment, or an IncDec statement.
+func hasWriteBefore(info *types.Info, body *ast.BlockStmt, limit token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE && n.Pos() < limit {
+				found = true
+			}
+		case *ast.IncDecStmt:
+			if n.Pos() < limit {
+				found = true
+			}
+		case *ast.CallExpr:
+			if n.Pos() >= limit {
+				return true
+			}
+			if pkgPath, name, ok := pkgFuncCall(info, n); ok &&
+				pathStrIs(pkgPath, stmPathSuffix) && (name == "Write" || name == "Modify") {
+				found = true
+			} else if recv, name, ok := methodCall(info, n); ok && name == "StoreDirect" &&
+				recv.Obj().Name() == "Var" && pathIs(recv.Obj().Pkg(), stmPathSuffix) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,14 @@
+package directstore
+
+import "repro/internal/stm"
+
+// This file accesses initOnly purely directly — initialization-time use
+// with no transactional access in the same file is clean.
+
+var initOnly *stm.Var[int]
+
+func initialize(e *stm.Engine) {
+	initOnly = stm.NewVar(e, 0)
+	initOnly.StoreDirect(42)
+	_ = initOnly.LoadDirect()
+}

@@ -1,0 +1,34 @@
+// Fixture for the directstore analyzer: the same stm.Var must not see both
+// direct (non-transactional) and transactional access in one file unless
+// the direct access is justified by a privatization argument.
+package directstore
+
+import "repro/internal/stm"
+
+type record struct {
+	val  *stm.Var[int]
+	aux  *stm.Var[int]
+	priv *stm.Var[int]
+}
+
+var shared *stm.Var[int]
+
+func transactional(e *stm.Engine, r *record) {
+	e.MustAtomic(func(tx *stm.Tx) {
+		stm.Write(tx, r.val, 1)
+		_ = stm.Read(tx, shared)
+		stm.Modify(tx, r.aux, func(x int) int { return x + 1 })
+	})
+}
+
+func direct(r *record) {
+	r.val.StoreDirect(2)   // want "StoreDirect"
+	_ = r.aux.LoadDirect() // want "LoadDirect"
+	shared.StoreDirect(3)  // want "StoreDirect"
+}
+
+func privatized(r *record) {
+	// The justified form: the annotation both suppresses the finding and
+	// documents the ownership argument (Section 3.3).
+	r.val.StoreDirect(4) // cvlint:ignore directstore r is thread-private in this fixture
+}

@@ -1,0 +1,54 @@
+// Fixture for the nakednotify analyzer: a notify should advertise a
+// state change made earlier in the same function.
+package nakednotify
+
+import (
+	"repro/internal/core"
+	"repro/internal/stm"
+)
+
+func bad(cv *core.CondVar, ready func() bool) {
+	if ready() {
+		cv.NotifyOne(nil) // want "no preceding"
+	}
+}
+
+func badTx(e *stm.Engine, cv *core.CondVar, v *stm.Var[int]) {
+	e.MustAtomic(func(tx *stm.Tx) {
+		if stm.Read(tx, v) > 0 { // a read is not a state change
+			cv.NotifyAll(tx) // want "no preceding"
+		}
+	})
+}
+
+func goodTx(e *stm.Engine, cv *core.CondVar, v *stm.Var[int]) {
+	e.MustAtomic(func(tx *stm.Tx) {
+		stm.Write(tx, v, 1)
+		cv.NotifyOne(tx)
+	})
+}
+
+func goodModify(e *stm.Engine, cv *core.CondVar, v *stm.Var[int]) {
+	e.MustAtomic(func(tx *stm.Tx) {
+		stm.Modify(tx, v, func(x int) int { return x + 1 })
+		cv.NotifyAll(tx)
+	})
+}
+
+type queue struct{ n int }
+
+// Lock-based users keep predicate state in plain fields; a preceding
+// mutation of any kind counts.
+func goodPlain(cv *core.CondVar, q *queue) {
+	q.n++
+	cv.NotifyOne(nil)
+}
+
+// Single-statement forwarding wrapper: the state change happened in the
+// caller.
+func nudge(cv *core.CondVar) bool { return cv.NotifyOne(nil) }
+
+func deliberate(cv *core.CondVar) {
+	// cvlint:ignore nakednotify shutdown nudge carries no predicate change
+	cv.NotifyOne(nil)
+}

@@ -1,0 +1,90 @@
+// Fixture for the waitloop analyzer: wake-ups are oblivious, so every
+// condvar wait needs an enclosing predicate re-check loop.
+package waitloop
+
+import (
+	"repro/internal/core"
+	"repro/internal/stm"
+	"repro/internal/syncx"
+)
+
+func badLocked(cv *core.CondVar, m *syncx.Mutex) {
+	m.Lock()
+	cv.WaitLocked(m) // want "outside a for loop"
+	m.Unlock()
+}
+
+func badTx(e *stm.Engine, cv *core.CondVar, ready func() bool) {
+	e.MustAtomic(func(tx *stm.Tx) {
+		if ready() {
+			return
+		}
+		cv.WaitTx(tx) // want "outside a for loop"
+	})
+}
+
+// A loop outside an *opaque* literal does not count: the literal is an
+// independent function and may run outside the loop.
+func badNestedLit(cv *core.CondVar, m *syncx.Mutex, run func(func())) {
+	for {
+		run(func() {
+			cv.WaitLocked(m) // want "outside a for loop"
+		})
+	}
+}
+
+func goodLocked(cv *core.CondVar, m *syncx.Mutex, ready func() bool) {
+	m.Lock()
+	for !ready() {
+		cv.WaitLocked(m)
+	}
+	m.Unlock()
+}
+
+// The atomic-block idiom: the loop encloses the Atomic call and the
+// literal is transparent.
+func goodTx(e *stm.Engine, cv *core.CondVar, ready func() bool) {
+	for {
+		done := false
+		e.MustAtomic(func(tx *stm.Tx) {
+			if ready() {
+				done = true
+				return
+			}
+			cv.WaitTx(tx)
+		})
+		if done {
+			return
+		}
+	}
+}
+
+// Sync.Exec continuations are transparent too.
+func goodExec(cv *core.CondVar, s syncx.Sync, ready func() bool) {
+	for !ready() {
+		s.Exec(func(s2 syncx.Sync) {
+			cv.Wait(s2, nil)
+		})
+	}
+}
+
+type gate struct {
+	cv *core.CondVar
+	m  syncx.Mutex
+}
+
+// A facade method of a type that itself exposes Wait: the predicate loop
+// is the caller's obligation, so the bare wait here is exempt.
+func (g *gate) Wait() {
+	g.m.Lock()
+	g.cv.WaitLocked(&g.m)
+	g.m.Unlock()
+}
+
+// Annotated deliberate one-shot wait: suppressed.
+func oneShot(cv *core.CondVar, m *syncx.Mutex) {
+	m.Lock()
+	// cvlint:ignore waitloop single-waiter one-shot hand-off in this fixture
+	cv.WaitLocked(m)
+	m.Unlock()
+}

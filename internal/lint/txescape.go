@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerTxEscape flags a *stm.Tx that escapes the dynamic extent of its
+// atomic block. A Tx is created per attempt, is not goroutine-safe, and is
+// dead after commit/abort/CommitEarly, so any of the following is a
+// latent use-after-commit or cross-goroutine race:
+//
+//   - storing a Tx into a struct field, map/slice element, or
+//     package-level variable;
+//   - sending a Tx on a channel;
+//   - launching a goroutine that receives a Tx as an argument or captures
+//     one from an enclosing scope.
+//
+// False-positive policy: passing a Tx to an ordinary (synchronous) helper
+// call is legal and never flagged; only stores to memory that outlives the
+// block and goroutine hand-offs are reported.
+var AnalyzerTxEscape = &Analyzer{
+	Name: "txescape",
+	Doc:  "detect *stm.Tx values escaping their atomic block",
+	Run:  runTxEscape,
+}
+
+func runTxEscape(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i >= len(n.Lhs) {
+						break
+					}
+					if !isStmTx(info.TypeOf(rhs)) {
+						continue
+					}
+					switch lhs := n.Lhs[i].(type) {
+					case *ast.SelectorExpr:
+						// A PkgName selector (otherpkg.Global = tx) and a
+						// field store (x.f = tx) both outlive the block.
+						pass.Report(n.Pos(), "txescape",
+							"*stm.Tx stored to %s escapes its atomic block (a Tx is dead after the block and not goroutine-safe)", exprString(lhs))
+					case *ast.IndexExpr:
+						pass.Report(n.Pos(), "txescape",
+							"*stm.Tx stored into a container element escapes its atomic block")
+					case *ast.Ident:
+						if obj := info.ObjectOf(lhs); obj != nil && obj.Parent() == pass.Pkg.Types.Scope() {
+							pass.Report(n.Pos(), "txescape",
+								"*stm.Tx stored to package-level variable %s escapes its atomic block", lhs.Name)
+						}
+					}
+				}
+			case *ast.SendStmt:
+				if isStmTx(info.TypeOf(n.Value)) {
+					pass.Report(n.Pos(), "txescape",
+						"*stm.Tx sent on a channel escapes its atomic block")
+				}
+			case *ast.GoStmt:
+				reportGoTx(pass, info, n)
+			}
+			return true
+		})
+	}
+}
+
+// reportGoTx flags goroutines that receive or capture a *stm.Tx.
+func reportGoTx(pass *Pass, info *types.Info, g *ast.GoStmt) {
+	for _, arg := range g.Call.Args {
+		if isStmTx(info.TypeOf(arg)) {
+			pass.Report(g.Pos(), "txescape",
+				"goroutine launched with a *stm.Tx argument: transactions must not cross goroutines")
+			return
+		}
+	}
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, isID := n.(*ast.Ident)
+		if !isID || captured {
+			return !captured
+		}
+		obj, isVar := info.Uses[id].(*types.Var)
+		if !isVar || !isStmTx(obj.Type()) {
+			return true
+		}
+		// Free variable: declared outside the literal.
+		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+			captured = true
+			pass.Report(g.Pos(), "txescape",
+				"goroutine captures %s (*stm.Tx) from the enclosing atomic block", id.Name)
+		}
+		return !captured
+	})
+}
+
+// exprString renders a selector chain for diagnostics (best-effort).
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	default:
+		return "expression"
+	}
+}

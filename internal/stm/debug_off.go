@@ -1,0 +1,7 @@
+//go:build !stmsan
+
+package stm
+
+// debugDefault is the initial SetDebugChecks state of every new engine.
+// In normal builds the sanitizer is opt-in via Engine.SetDebugChecks.
+const debugDefault = false

@@ -1,0 +1,9 @@
+//go:build stmsan
+
+package stm
+
+// debugDefault is the initial SetDebugChecks state of every new engine.
+// Built with -tags stmsan, the runtime sanitizer is on by default, the
+// moral equivalent of running the suite under -race: slower, and loud
+// about latent misuse.
+const debugDefault = true

@@ -178,6 +178,10 @@ type Engine struct {
 	txPool   sync.Pool // recycled *Tx, logs retaining capacity
 	retry    retryHub  // sleeping Retry() callers, keyed by orec
 
+	// debug enables the runtime sanitizer (see debug.go). Default set by
+	// the stmsan build tag; toggled with SetDebugChecks.
+	debug atomic.Bool
+
 	Stats TMStats
 }
 
@@ -190,6 +194,7 @@ func NewEngine(cfg Config) *Engine {
 		orecMask: uint64(cfg.OrecCount - 1),
 	}
 	e.rngState.Store(uint64(time.Now().UnixNano())*2 + 1)
+	e.debug.Store(debugDefault)
 	return e
 }
 

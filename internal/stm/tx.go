@@ -137,7 +137,7 @@ func (tx *Tx) statusString() string {
 // semaphore operation runs inside a (hardware) transaction.
 func (tx *Tx) OnCommit(f func()) {
 	tx.ensureActive("OnCommit")
-	tx.onCommit = append(tx.onCommit, f)
+	tx.onCommit = append(tx.onCommit, tx.wrapOnCommit(f))
 }
 
 // OnAbort registers f to run if this attempt aborts (before the retry).

@@ -14,6 +14,7 @@ type varBase struct {
 	val atomic.Value // always holds box[T] for the owning Var's T
 	o   *orec
 	seq uint64
+	eng *Engine // for the runtime sanitizer (debug.go)
 }
 
 // Var is a transactional memory cell holding a value of type T. Create
@@ -33,6 +34,7 @@ func NewVar[T any](e *Engine, init T) *Var[T] {
 	v := &Var[T]{}
 	v.base.seq = e.varSeq.Add(1)
 	v.base.o = &e.orecs[orecIndex(v.base.seq, e.orecMask)]
+	v.base.eng = e
 	v.base.val.Store(box[T]{init})
 	return v
 }
@@ -42,6 +44,7 @@ func NewVar[T any](e *Engine, init T) *Var[T] {
 // privatized data, or quiescent points such as test assertions after all
 // workers joined).
 func (v *Var[T]) LoadDirect() T {
+	v.base.sanitizeDirect("LoadDirect")
 	return v.base.val.Load().(box[T]).v
 }
 
@@ -50,6 +53,7 @@ func (v *Var[T]) LoadDirect() T {
 // store on line 1 of the paper's WAIT (Algorithm 4): the node is private
 // to its owner at that point.
 func (v *Var[T]) StoreDirect(x T) {
+	v.base.sanitizeDirect("StoreDirect")
 	v.base.val.Store(box[T]{x})
 }
 

@@ -1,0 +1,33 @@
+#!/bin/sh
+# verify.sh — the repository's full verification gate. Everything here is
+# hermetic (toolchain only, no network): build, vet, the test suite under
+# the race detector, a second stm/core pass with the runtime sanitizer
+# compiled on (-tags stmsan), the cvlint static misuse analyzers over the
+# whole module, and two bounded exhaustive model-checking runs.
+#
+# Tier-1 (the subset CI must keep green) is `go build ./... && go test
+# ./...`; this script is the superset to run before merging.
+set -eu
+
+step() { printf '\n== %s\n' "$*"; }
+
+step "build"
+go build ./...
+
+step "vet"
+go vet ./...
+
+step "tests (race detector)"
+go test -race ./...
+
+step "tests (runtime sanitizer on: -tags stmsan)"
+go test -tags stmsan ./internal/stm ./internal/core
+
+step "cvlint (static misuse analyzers)"
+go run ./cmd/cvlint ./...
+
+step "modelcheck (bounded exhaustive interleavings)"
+go run ./cmd/modelcheck -waiters 2 -notifyone 1
+go run ./cmd/modelcheck -waiters 2 -notifyall 1
+
+step "ok"
