@@ -17,21 +17,29 @@
 //	-seed    N                  input seed
 //	-summary                    print only the Figure 3 speedup table
 //	-quiet                      suppress live progress lines
+//	-metrics                    print the per-trial metrics snapshot as JSON
+//	-trace out.json             record a Chrome trace_event file of the run
+//	-tracebuf N                 trace ring-buffer capacity in events
+//	-resultdir dir              per-run JSON results directory ("" disables)
 //
 // Examples:
 //
 //	parsecbench -machine westmere              # Figure 1 data + Figure 3(a)
 //	parsecbench -machine haswell               # Figure 2 data + Figure 3(b)
 //	parsecbench -bench dedup -threads 4        # just the dedup anomaly
+//	parsecbench -trace t.json -metrics         # trace + metrics JSON
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/parsec"
 )
 
@@ -46,6 +54,10 @@ func main() {
 	seed := flag.Uint64("seed", 0x5EED, "workload input seed")
 	summary := flag.Bool("summary", false, "print only the Figure 3 speedup table")
 	csv := flag.Bool("csv", false, "emit the raw grid as CSV instead of tables")
+	metrics := flag.Bool("metrics", false, "emit the per-trial metrics snapshot as JSON instead of tables")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of the run's event lifecycle")
+	traceBuf := flag.Int("tracebuf", 1<<20, "trace ring-buffer capacity in events")
+	resultDir := flag.String("resultdir", "results", "directory for per-run JSON result files (\"\" disables)")
 	quiet := flag.Bool("quiet", false, "suppress live progress")
 	flag.Parse()
 
@@ -98,18 +110,82 @@ func main() {
 		Warmup:     *warmup,
 		Scale:      effScale,
 		Seed:       *seed,
+		// The per-run result files carry the full per-trial snapshots, so
+		// collection is on whenever either JSON output is wanted.
+		CollectMetrics: *metrics || *resultDir != "",
 	}
 	if !*quiet {
 		cfg.Progress = os.Stderr
 	}
+	if *tracePath != "" {
+		cfg.Tracer = obs.NewTracer(*traceBuf)
+		cfg.Tracer.Enable()
+	}
 
 	sw := harness.Run(cfg)
+
+	if *tracePath != "" {
+		cfg.Tracer.Disable()
+		if err := writeTrace(cfg.Tracer, *tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "parsecbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "parsecbench: wrote trace (%d events) to %s\n",
+			cfg.Tracer.Emitted(), *tracePath)
+	}
+	if *resultDir != "" {
+		path, err := writeResult(sw, *resultDir, *machine)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "parsecbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "parsecbench: wrote results to %s\n", path)
+	}
+
 	switch {
 	case *csv:
 		sw.WriteCSV(os.Stdout)
+	case *metrics:
+		if err := sw.WriteMetricsJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "parsecbench:", err)
+			os.Exit(1)
+		}
 	case *summary:
 		sw.WriteSpeedups(os.Stdout)
 	default:
 		fmt.Print(sw.Render(figure))
 	}
+}
+
+// writeTrace exports the recorded events as a Chrome trace_event file
+// (load it at chrome://tracing or https://ui.perfetto.dev).
+func writeTrace(tr *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeResult saves the sweep's metrics JSON under dir as
+// bench-<machine>-<timestamp>.json and returns the path.
+func writeResult(sw *harness.Sweep, dir, machine string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("bench-%s-%s.json",
+		machine, time.Now().UTC().Format("20060102T150405Z")))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := sw.WriteMetricsJSON(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
 }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sem"
 	"repro/internal/stats"
 	"repro/internal/stm"
@@ -52,6 +53,43 @@ type CVStats struct {
 	Woken       stats.Counter // total threads woken
 	Timeouts    stats.Counter // timed waits that expired un-notified
 	MaxQueue    stats.Max     // deepest queue observed by a notifier
+
+	// Wait latency, split at the committed SEMPOST — the two halves the
+	// paper's end-to-end numbers cannot separate: how long a waiter sat
+	// enqueued before some notifier's commit posted its semaphore, and how
+	// long the runtime then took to get the woken goroutine running again.
+	EnqueueToNotify obs.Histogram // ns: enqueue → notifier's committed post
+	NotifyToWake    obs.Histogram // ns: committed post → waiter resumed
+	QueueDepth      obs.Histogram // committed queue depth seen at each dequeue
+
+	// Sem aggregates the node semaphores' activity (park durations live
+	// in Sem.ParkNanos). Attached to each node's semaphore lazily.
+	Sem sem.Stats
+}
+
+// Snapshot returns the scalar counters at one instant, keyed by name.
+func (s *CVStats) Snapshot() map[string]int64 {
+	return map[string]int64{
+		"waits":        s.Waits.Load(),
+		"notify_ones":  s.NotifyOnes.Load(),
+		"notify_alls":  s.NotifyAlls.Load(),
+		"notify_empty": s.NotifyEmpty.Load(),
+		"woken":        s.Woken.Load(),
+		"timeouts":     s.Timeouts.Load(),
+		"max_queue":    s.MaxQueue.Load(),
+		"sem_posts":    s.Sem.Posts.Load(),
+		"sem_blocks":   s.Sem.Blocks.Load(),
+	}
+}
+
+// Histograms returns snapshots of the latency histograms, keyed by name.
+func (s *CVStats) Histograms() map[string]obs.HistogramSnapshot {
+	return map[string]obs.HistogramSnapshot{
+		"enqueue_to_notify_ns": s.EnqueueToNotify.Snapshot(),
+		"notify_to_wake_ns":    s.NotifyToWake.Snapshot(),
+		"queue_depth":          s.QueueDepth.Snapshot(),
+		"sem_park_ns":          s.Sem.ParkNanos.Snapshot(),
+	}
 }
 
 // Node is one entry of a CondVar's wait queue: the calling thread's
@@ -64,6 +102,19 @@ type Node struct {
 	next *stm.Var[*Node]
 	tag  *stm.Var[any] // optional predicate descriptor for NotifyBest
 
+	// id identifies the node in trace output (the lane its enqueue →
+	// notify → sempost → wake chain renders on).
+	id uint64
+
+	// Observability timestamps. enqueuedAt is written by the owning
+	// waiter before the node is published into the queue (the enqueue
+	// transaction's commit orders it before any notifier's read);
+	// notifiedAt is written by the notifier's commit handler before the
+	// semaphore post (which orders it before the waiter's read on
+	// wake-up). Both are therefore race-free without further locking.
+	enqueuedAt time.Time
+	notifiedAt time.Time
+
 	// Sanitizer bookkeeping (checked only when the engine's debug checks
 	// are on; see sanitize* below). inQueue tracks whether the node is
 	// reachable from the wait queue; gen counts pool recycles, so a
@@ -71,6 +122,9 @@ type Node struct {
 	inQueue atomic.Bool
 	gen     atomic.Uint64
 }
+
+// nodeSeq hands out trace-lane ids for nodes across all condvars.
+var nodeSeq atomic.Uint64
 
 // CondVar is the paper's transaction-friendly condition variable
 // (Algorithms 3–6): a queue of per-thread semaphores manipulated inside
@@ -87,6 +141,12 @@ type CondVar struct {
 	opts Options
 	pool sync.Pool
 	st   *CVStats
+
+	// depth tracks the committed queue depth: incremented by each
+	// enqueue's commit, decremented by each committed dequeue (notify or
+	// timeout unlink). Transactional aborts never touch it, so it is
+	// exact despite living outside the STM.
+	depth stats.Gauge
 }
 
 // New creates a condition variable whose internal transactions run on e.
@@ -108,11 +168,21 @@ func (cv *CondVar) SetStats(st *CVStats) { cv.st = st }
 func (cv *CondVar) Engine() *stm.Engine { return cv.e }
 
 func (cv *CondVar) newNode() *Node {
-	return &Node{
+	n := &Node{
+		id:   nodeSeq.Add(1),
 		sem:  sem.NewBinary(),
 		next: stm.NewVar[*Node](cv.e, nil),
 		tag:  stm.NewVar[any](cv.e, nil),
 	}
+	// Nodes are created lazily (first pool Get), so stats/tracer sinks
+	// attached during condvar setup are seen here.
+	if cv.st != nil {
+		n.sem.SetStats(&cv.st.Sem)
+	}
+	if tr := cv.e.Tracer(); tr != nil {
+		n.sem.SetTrace(tr, n.id)
+	}
+	return n
 }
 
 func (cv *CondVar) acquireNode() *Node {
@@ -157,7 +227,13 @@ func (cv *CondVar) enqueue(tx *stm.Tx, n *Node) {
 	if n.inQueue.Swap(true) && cv.sanitizeOn() {
 		panic("core: sanitizer: condvar node enqueued while still linked in the wait queue (double WAIT on one node, or a recycled node the queue still references)")
 	}
+	n.enqueuedAt = time.Now()
+	n.notifiedAt = time.Time{}
 	body := func(tx *stm.Tx) {
+		// Attempt-buffered: an aborted attempt's enqueue never shows in
+		// the trace; the committed depth gauge moves only at commit.
+		tx.Trace(obs.EvCVEnqueue, int64(n.id), 0)
+		tx.OnCommit(func() { cv.depth.Inc() })
 		switch cv.opts.Policy {
 		case LIFO:
 			h := stm.Read(tx, cv.head)
@@ -203,10 +279,8 @@ func (cv *CondVar) Wait(s syncx.Sync, cont func(syncx.Sync)) {
 	cv.enqueue(s.Tx(), n)   // lines 2–8
 	s.End()                 // line 9: break atomicity
 	n.sem.Wait()            // line 10: sleep until notified
+	cv.noteWake(n)
 	cv.releaseNode(n)
-	if cv.st != nil {
-		cv.st.Waits.Inc()
-	}
 	if cont != nil {
 		s.Exec(cont) // lines 11–13
 	}
@@ -222,10 +296,8 @@ func (cv *CondVar) WaitTagged(s syncx.Sync, tag any, cont func(syncx.Sync)) {
 	cv.enqueue(s.Tx(), n)
 	s.End()
 	n.sem.Wait()
+	cv.noteWake(n)
 	cv.releaseNode(n)
-	if cv.st != nil {
-		cv.st.Waits.Inc()
-	}
 	if cont != nil {
 		s.Exec(cont)
 	}
@@ -242,10 +314,8 @@ func (cv *CondVar) WaitLocked(m *syncx.Mutex) {
 	cv.enqueue(nil, n)
 	m.Unlock()
 	n.sem.Wait()
+	cv.noteWake(n)
 	cv.releaseNode(n)
-	if cv.st != nil {
-		cv.st.Waits.Inc()
-	}
 	m.Lock()
 }
 
@@ -264,10 +334,8 @@ func (cv *CondVar) WaitLockedTimeout(m *syncx.Mutex, d time.Duration) bool {
 	cv.enqueue(nil, n)
 	m.Unlock()
 	if n.sem.WaitTimeout(d) {
+		cv.noteWake(n)
 		cv.releaseNode(n)
-		if cv.st != nil {
-			cv.st.Waits.Inc()
-		}
 		m.Lock()
 		return true
 	}
@@ -285,10 +353,8 @@ func (cv *CondVar) WaitLockedTimeout(m *syncx.Mutex, d time.Duration) bool {
 	// (imminent = after its outer transaction commits). Treat as
 	// notified.
 	n.sem.Wait()
+	cv.noteWake(n)
 	cv.releaseNode(n)
-	if cv.st != nil {
-		cv.st.Waits.Inc()
-	}
 	m.Lock()
 	return true
 }
@@ -313,8 +379,12 @@ func (cv *CondVar) removeNode(target *Node) bool {
 				}
 				found = true
 				// The unlink becomes real only if this transaction
-				// commits; clear the reachability flag at that point.
-				tx.OnCommit(func() { target.inQueue.Store(false) })
+				// commits; clear the reachability flag (and the
+				// committed depth gauge) at that point.
+				tx.OnCommit(func() {
+					target.inQueue.Store(false)
+					cv.depth.Dec()
+				})
 				return
 			}
 			prev = n
@@ -346,10 +416,8 @@ func (cv *CondVar) WaitTx(tx *stm.Tx) {
 	cv.enqueue(tx, n)
 	tx.CommitEarly()
 	n.sem.Wait()
+	cv.noteWake(n)
 	cv.releaseNode(n)
-	if cv.st != nil {
-		cv.st.Waits.Inc()
-	}
 }
 
 // WaitAtCommit is the second empty-continuation alternative of Section
@@ -379,11 +447,49 @@ func (cv *CondVar) WaitAtCommit(tx *stm.Tx) {
 	cv.enqueue(tx, n)
 	tx.OnCommit(func() {
 		n.sem.Wait()
+		cv.noteWake(n)
 		cv.releaseNode(n)
-		if cv.st != nil {
-			cv.st.Waits.Inc()
-		}
 	})
+}
+
+// notifyCommitted is the committed side of a notification: it records the
+// dequeue in the observability instruments (queue depth, enqueue→notify
+// latency, sempost trace event) and then posts the node's semaphore. It
+// runs exactly once per real dequeue — from the notifier's commit handler,
+// or directly on the immediate-post ablation path.
+func (cv *CondVar) notifyCommitted(n *Node) {
+	now := time.Now()
+	d := cv.depth.Load()
+	cv.depth.Dec()
+	if cv.st != nil {
+		if !n.enqueuedAt.IsZero() {
+			cv.st.EnqueueToNotify.Observe(now.Sub(n.enqueuedAt).Nanoseconds())
+		}
+		cv.st.QueueDepth.Observe(d)
+	}
+	// Written before Post: the semaphore hand-off orders this store before
+	// the woken waiter's read in noteWake.
+	n.notifiedAt = now
+	if tr := cv.e.Tracer(); tr.Enabled() {
+		tr.Emit(n.id, obs.EvCVSemPost, int64(n.id), d)
+	}
+	n.inQueue.Store(false)
+	n.sem.Post()
+}
+
+// noteWake records the waiter side of a wake-up: the notify→wake latency
+// (runtime rescheduling cost) and the wake trace event. It must run
+// before releaseNode, which retires the node's incarnation.
+func (cv *CondVar) noteWake(n *Node) {
+	if cv.st != nil {
+		cv.st.Waits.Inc()
+		if !n.notifiedAt.IsZero() {
+			cv.st.NotifyToWake.Observe(time.Since(n.notifiedAt).Nanoseconds())
+		}
+	}
+	if tr := cv.e.Tracer(); tr.Enabled() {
+		tr.Emit(n.id, obs.EvCVWake, int64(n.id), 0)
+	}
 }
 
 // notifyPost arranges for node's semaphore to be posted: at commit of the
@@ -394,10 +500,14 @@ func (cv *CondVar) notifyPost(tx *stm.Tx, n *Node) {
 		if tx != nil && cv.opts.ImmediatePost {
 			tx.Syscall() // a real HTM would abort here; make the sim do so
 		}
-		n.inQueue.Store(false)
-		n.sem.Post()
+		if tr := cv.e.Tracer(); tr.Enabled() {
+			tr.Emit(n.id, obs.EvCVNotify, int64(n.id), 0)
+		}
+		cv.notifyCommitted(n)
 		return
 	}
+	// Attempt-buffered: an aborted attempt's notify leaves no trace.
+	tx.Trace(obs.EvCVNotify, int64(n.id), 0)
 	// Capture the node's incarnation at dequeue time: the commit handler
 	// must wake the waiter that was unlinked, not whoever owns a recycled
 	// node later (ABA). The body may re-run on conflict; each attempt
@@ -409,8 +519,7 @@ func (cv *CondVar) notifyPost(tx *stm.Tx, n *Node) {
 				"core: sanitizer: notification committed against a recycled condvar node (generation %d at dequeue, %d at post) — the wake-up would go to the wrong waiter (ABA)",
 				gen, n.gen.Load()))
 		}
-		n.inQueue.Store(false)
-		n.sem.Post()
+		cv.notifyCommitted(n)
 	})
 }
 
@@ -551,6 +660,11 @@ func (cv *CondVar) NotifyBest(tx *stm.Tx, score func(tag any) int64) bool {
 	}
 	return found
 }
+
+// Depth returns the committed queue depth, maintained by the enqueue and
+// dequeue commit handlers. Unlike Len it costs one atomic load and never
+// runs a transaction.
+func (cv *CondVar) Depth() int64 { return cv.depth.Load() }
 
 // Len returns the current number of enqueued waiters (its own
 // transaction; for diagnostics and tests).

@@ -91,6 +91,11 @@ type Toolkit struct {
 	Engine   *stm.Engine
 	Spurious *pthreadcv.SpuriousInjector
 	CVOpts   core.Options // options for TM condvars (policy, ablations)
+
+	// CVStats, when non-nil, is attached to every TM condvar the toolkit
+	// hands out, aggregating wait/notify activity and wait-latency
+	// histograms across all of a workload's condvars.
+	CVStats *core.CVStats
 }
 
 // NewCond returns a condition variable of the toolkit's flavour for
@@ -101,7 +106,7 @@ func (tk *Toolkit) NewCond() Cond {
 	case LockPthread:
 		return pthreadcv.New(tk.Spurious)
 	case LockTM:
-		return core.NewLockCond(core.New(tk.Engine, tk.CVOpts))
+		return core.NewLockCond(tk.NewCondVar())
 	default:
 		panic("facility: NewCond on a Txn toolkit; use NewCondVar")
 	}
@@ -112,7 +117,11 @@ func (tk *Toolkit) NewCondVar() *core.CondVar {
 	if tk.Engine == nil {
 		panic("facility: NewCondVar requires an engine")
 	}
-	return core.New(tk.Engine, tk.CVOpts)
+	cv := core.New(tk.Engine, tk.CVOpts)
+	if tk.CVStats != nil {
+		cv.SetStats(tk.CVStats)
+	}
+	return cv
 }
 
 // Transactional reports whether shared data is protected by transactions

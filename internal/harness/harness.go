@@ -18,7 +18,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/facility"
+	"repro/internal/obs"
 	"repro/internal/parsec"
 )
 
@@ -33,6 +35,15 @@ type SweepConfig struct {
 	Scale      float64 // workload scale factor
 	Seed       uint64
 	Progress   io.Writer // optional live progress log
+
+	// CollectMetrics attaches fresh TM/condvar instrument sinks to every
+	// timed trial and keeps a per-trial snapshot in Cell.Trials (the data
+	// WriteMetricsJSON serializes). Histograms are cheap (atomic adds),
+	// but collection also allocates per trial, so it is opt-in.
+	CollectMetrics bool
+	// Tracer, when non-nil, records the event lifecycle of every trial
+	// (warm-ups included) into one shared ring buffer.
+	Tracer *obs.Tracer
 }
 
 func (c SweepConfig) withDefaults() SweepConfig {
@@ -68,6 +79,10 @@ type Cell struct {
 
 	// TM engine statistics summed over trials (zero for LockPthread).
 	Commits, Aborts, SerialCommits, EarlyCommits int64
+
+	// Trials holds one instrument snapshot per timed trial when the sweep
+	// ran with CollectMetrics; nil otherwise.
+	Trials []TrialMetrics
 }
 
 // Sweep is the full result grid.
@@ -103,6 +118,7 @@ func runCell(cfg SweepConfig, b parsec.Benchmark, sys facility.Kind, threads int
 		Machine: cfg.Machine,
 		Scale:   cfg.Scale,
 		Seed:    cfg.Seed,
+		Tracer:  cfg.Tracer,
 	}
 	for i := 0; i < cfg.Warmup; i++ {
 		b.Run(rc)
@@ -110,6 +126,11 @@ func runCell(cfg SweepConfig, b parsec.Benchmark, sys facility.Kind, threads int
 	cell := Cell{Benchmark: b.Name(), System: sys, Threads: threads}
 	var total time.Duration
 	for i := 0; i < cfg.Trials; i++ {
+		// Fresh condvar sink per trial so each snapshot covers exactly one
+		// trial (the engine is already fresh: toolkit() builds one per run).
+		if cfg.CollectMetrics && sys != facility.LockPthread {
+			rc.CVStats = &core.CVStats{}
+		}
 		res := b.Run(rc)
 		total += res.Elapsed
 		if i == 0 || res.Elapsed < cell.Min {
@@ -125,6 +146,18 @@ func runCell(cfg SweepConfig, b parsec.Benchmark, sys facility.Kind, threads int
 			cell.Aborts += st.Aborts.Load()
 			cell.SerialCommits += st.SerialCommits.Load()
 			cell.EarlyCommits += st.EarlyCommits.Load()
+		}
+		if cfg.CollectMetrics {
+			tm := TrialMetrics{ElapsedNS: res.Elapsed.Nanoseconds()}
+			if res.Engine != nil {
+				tm.TM = res.Engine.Stats.Snapshot()
+				tm.TMHist = res.Engine.Stats.Histograms()
+			}
+			if rc.CVStats != nil {
+				tm.CV = rc.CVStats.Snapshot()
+				tm.CVHist = rc.CVStats.Histograms()
+			}
+			cell.Trials = append(cell.Trials, tm)
 		}
 	}
 	cell.Mean = total / time.Duration(cfg.Trials)

@@ -14,6 +14,7 @@ const (
 	stmPathSuffix  = "internal/stm"
 	semPathSuffix  = "internal/sem"
 	corePathSuffix = "internal/core"
+	obsPathSuffix  = "internal/obs"
 )
 
 func pathIs(pkg *types.Package, suffix string) bool {

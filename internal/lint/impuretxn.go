@@ -17,12 +17,16 @@ import (
 //   - fmt.Print*/Fprint* and the print/println builtins;
 //   - any call into package os;
 //   - time.Sleep;
-//   - sem.Sem Post/PostN (and Wait, which can deadlock a retrying body).
+//   - sem.Sem Post/PostN (and Wait, which can deadlock a retrying body);
+//   - obs.Tracer Emit/EmitEvent (trace events are observable effects; the
+//     attempt-buffered tx.Trace is the transactional emission API).
 //
 // False-positive policy: AtomicRelaxed bodies are exempt (relaxed
 // transactions are irrevocable and may perform I/O, Section 4.2); handler
 // literals passed to tx.OnCommit/tx.OnAbort are exempt (they run outside
-// the attempt); calls in helper functions that merely receive a *stm.Tx
+// the attempt); tx.Trace is exempt by construction (it buffers in the
+// attempt and flushes only on commit, mirroring the SEMPOST deferral);
+// calls in helper functions that merely receive a *stm.Tx
 // are not analyzed (no interprocedural analysis), so factoring an effect
 // into a helper hides it — route it through OnCommit instead.
 var AnalyzerImpureTxn = &Analyzer{
@@ -101,6 +105,13 @@ func reportImpureCall(pass *Pass, info *types.Info, call *ast.CallExpr) {
 			case "Wait", "WaitTimeout":
 				pass.Report(call.Pos(), "impuretxn",
 					"sem.%s inside a transaction body can sleep while holding orecs and deadlock against its own notifier; use CondVar.WaitTx", name)
+			}
+		}
+		if pathIs(recv.Obj().Pkg(), obsPathSuffix) && recv.Obj().Name() == "Tracer" {
+			switch name {
+			case "Emit", "EmitEvent":
+				pass.Report(call.Pos(), "impuretxn",
+					"obs.Tracer.%s inside a transaction body records events of attempts that may abort; use tx.Trace, which buffers in the attempt and flushes on commit", name)
 			}
 		}
 	}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace_event exporter: renders the retained events in the JSON
+// Object Format of the Trace Event specification ({"traceEvents": [...]}),
+// which chrome://tracing and Perfetto both load directly. Span events
+// (Dur > 0) become complete ("X") events; everything else becomes a
+// thread-scoped instant ("i"). Lanes map to tids, so one transaction's or
+// one waiter's events share a track.
+
+// chromeEvent is one trace_event record. Timestamps are microseconds
+// (floats), per the spec.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   uint64         `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromeArgs names the A/B arguments per event type for the viewer.
+func chromeArgs(ev Event) map[string]any {
+	switch ev.Type {
+	case EvTxnCommit, EvTxnEarlyCommit, EvTxnSerial:
+		return map[string]any{"attempts": ev.A}
+	case EvTxnAbort:
+		return map[string]any{"reason": AbortReasonName(ev.A), "attempt": ev.B}
+	case EvHandlerRun:
+		return map[string]any{"handlers": ev.A}
+	case EvCVEnqueue, EvCVNotify, EvCVWake:
+		return map[string]any{"node": ev.A}
+	case EvCVSemPost:
+		return map[string]any{"node": ev.A, "queue_depth": ev.B}
+	case EvSemUnpark:
+		return map[string]any{"lane": ev.A}
+	default:
+		return nil
+	}
+}
+
+// WriteChromeTrace writes the retained events as Chrome trace_event JSON.
+// Call after emitters have quiesced. Safe on nil (writes an empty trace).
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	doc := chromeDoc{
+		TraceEvents:     make([]chromeEvent, 0, len(events)),
+		DisplayTimeUnit: "ns",
+	}
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Type.String(),
+			Cat:  ev.Type.Category(),
+			TS:   float64(ev.TS) / 1e3,
+			PID:  1,
+			TID:  ev.Lane % (1 << 31), // keep tids in JSON-safe integer range
+			Args: chromeArgs(ev),
+		}
+		if ev.Dur > 0 {
+			ce.Ph = "X"
+			ce.Dur = float64(ev.Dur) / 1e3
+		} else {
+			ce.Ph = "i"
+			ce.Scope = "t"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

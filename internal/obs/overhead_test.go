@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The disabled-tracer fast path is the steady state of every instrumented
+// operation in the STM/condvar stack, so it must not allocate — verify.sh
+// gates on this test and on BenchmarkTraceDisabled reporting 0 allocs/op.
+func TestTraceDisabledNoAlloc(t *testing.T) {
+	tr := NewTracer(1024)
+	if a := testing.AllocsPerRun(1000, func() {
+		tr.Emit(1, EvCVEnqueue, 1, 2)
+	}); a != 0 {
+		t.Errorf("disabled Emit allocates %.1f times per op", a)
+	}
+	var nilTr *Tracer
+	if a := testing.AllocsPerRun(1000, func() {
+		nilTr.Emit(1, EvCVEnqueue, 1, 2)
+	}); a != 0 {
+		t.Errorf("nil Emit allocates %.1f times per op", a)
+	}
+}
+
+// The enabled path must not allocate either: appends go into the
+// preallocated ring.
+func TestTraceEnabledNoAlloc(t *testing.T) {
+	tr := NewTracer(1024)
+	tr.Enable()
+	if a := testing.AllocsPerRun(1000, func() {
+		tr.Emit(1, EvCVEnqueue, 1, 2)
+	}); a != 0 {
+		t.Errorf("enabled Emit allocates %.1f times per op", a)
+	}
+}
+
+// Histogram.Observe is always on; it must not allocate.
+func TestHistogramObserveNoAlloc(t *testing.T) {
+	var h Histogram
+	if a := testing.AllocsPerRun(1000, func() {
+		h.Observe(12345)
+	}); a != 0 {
+		t.Errorf("Observe allocates %.1f times per op", a)
+	}
+}
+
+func BenchmarkTraceDisabled(b *testing.B) {
+	tr := NewTracer(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(uint64(i), EvCVEnqueue, 1, 2)
+	}
+}
+
+func BenchmarkTraceEnabled(b *testing.B) {
+	tr := NewTracer(1 << 16)
+	tr.Enable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(uint64(i), EvCVEnqueue, 1, 2)
+	}
+}
+
+func BenchmarkTraceEnabledParallel(b *testing.B) {
+	tr := NewTracer(1 << 16)
+	tr.Enable()
+	b.ReportAllocs()
+	var lane uint64
+	b.RunParallel(func(pb *testing.PB) {
+		lane++
+		l := lane
+		for pb.Next() {
+			tr.Emit(l, EvCVEnqueue, 1, 2)
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkHistogramTimer(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := StartTimer(&h)
+		_ = time.Now()
+		t.Stop()
+	}
+}

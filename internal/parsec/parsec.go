@@ -25,7 +25,9 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/facility"
+	"repro/internal/obs"
 	"repro/internal/stm"
 )
 
@@ -66,6 +68,14 @@ type Config struct {
 	Machine Machine       // TM substrate for the TM-based systems
 	Scale   float64       // input-size multiplier; 1.0 = test scale
 	Seed    uint64        // workload RNG seed (deterministic inputs)
+
+	// Tracer, when non-nil, is attached to the run's engine: the full
+	// txn/condvar/semaphore event lifecycle is recorded into it (no-op on
+	// the pthread system, which has no engine).
+	Tracer *obs.Tracer
+	// CVStats, when non-nil, aggregates condvar activity and wait-latency
+	// histograms across all the run's TM condvars.
+	CVStats *core.CVStats
 }
 
 func (c Config) withDefaults() Config {
@@ -92,12 +102,13 @@ func (c Config) scaled(base int) int {
 
 // toolkit builds the facility toolkit (and engine, when needed) for a run.
 func (c Config) toolkit() *facility.Toolkit {
-	tk := &facility.Toolkit{Kind: c.System}
+	tk := &facility.Toolkit{Kind: c.System, CVStats: c.CVStats}
 	if c.System != facility.LockPthread {
 		tk.Engine = stm.NewEngine(stm.Config{
 			Algorithm: c.Machine.Algorithm(),
 			Name:      fmt.Sprintf("%s/%s", c.Machine, c.System.Short()),
 		})
+		tk.Engine.SetTracer(c.Tracer)
 	}
 	return tk
 }

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -38,6 +39,10 @@ type Stats struct {
 	FastWaits stats.Counter // Waits satisfied without blocking
 	Blocks    stats.Counter // Waits that had to deschedule the caller
 	Timeouts  stats.Counter // WaitTimeout expirations
+
+	// ParkNanos distributes the park duration of Waits that had to
+	// deschedule the caller (fast-path Waits are not observed).
+	ParkNanos obs.Histogram
 }
 
 // waiter is one parked goroutine. The channel has capacity 1 so that a
@@ -63,6 +68,12 @@ type Sem struct {
 	head, tail *waiter
 
 	st *Stats
+
+	// Optional tracer and the lane its events are attributed to (the
+	// owning condvar node id, when used as a per-waiter binary
+	// semaphore). Set via SetTrace; nil-safe when unset.
+	tr   *obs.Tracer
+	lane uint64
 }
 
 // New returns a semaphore holding n initial permits. n must be >= 0.
@@ -81,6 +92,41 @@ func NewBinary() *Sem { return New(0) }
 // SetStats attaches a stats sink; pass nil to detach. Not synchronized
 // with concurrent operations; call before sharing the semaphore.
 func (s *Sem) SetStats(st *Stats) { s.st = st }
+
+// SetTrace attaches an event tracer and the lane (e.g. the owning condvar
+// node id) park/unpark events are attributed to. Like SetStats it is not
+// synchronized with concurrent operations; call before sharing.
+func (s *Sem) SetTrace(tr *obs.Tracer, lane uint64) { s.tr, s.lane = tr, lane }
+
+// parkStart stamps the beginning of a descheduled Wait, emitting the park
+// event if tracing. It returns the zero time when neither stats nor
+// tracing need the timestamp, which parkEnd treats as "don't observe".
+func (s *Sem) parkStart() time.Time {
+	traced := s.tr.Enabled()
+	if s.st == nil && !traced {
+		return time.Time{}
+	}
+	t0 := time.Now()
+	if traced {
+		s.tr.Emit(s.lane, obs.EvSemPark, 0, 0)
+	}
+	return t0
+}
+
+// parkEnd records the park duration started at t0 (histogram + unpark
+// span event).
+func (s *Sem) parkEnd(t0 time.Time) {
+	if t0.IsZero() {
+		return
+	}
+	d := time.Since(t0).Nanoseconds()
+	if s.st != nil {
+		s.st.ParkNanos.Observe(d)
+	}
+	if tr := s.tr; tr.Enabled() {
+		tr.EmitEvent(obs.Event{TS: tr.Now() - d, Dur: d, Type: obs.EvSemUnpark, Lane: s.lane})
+	}
+}
 
 // Post makes one permit available. If a goroutine is blocked in Wait, the
 // longest-waiting one receives the permit directly and becomes runnable;
@@ -133,7 +179,9 @@ func (s *Sem) Wait() {
 	if s.st != nil {
 		s.st.Blocks.Inc()
 	}
+	t0 := s.parkStart()
 	<-w.ch
+	s.parkEnd(t0)
 	if s.st != nil {
 		s.st.Waits.Inc()
 	}
@@ -177,11 +225,13 @@ func (s *Sem) WaitTimeout(d time.Duration) bool {
 	if s.st != nil {
 		s.st.Blocks.Inc()
 	}
+	t0 := s.parkStart()
 
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-w.ch:
+		s.parkEnd(t0)
 		if s.st != nil {
 			s.st.Waits.Inc()
 		}
@@ -194,6 +244,7 @@ func (s *Sem) WaitTimeout(d time.Duration) bool {
 	s.mu.lock()
 	if s.unlinkLocked(w) {
 		s.mu.unlock()
+		s.parkEnd(t0)
 		if s.st != nil {
 			s.st.Timeouts.Inc()
 		}
@@ -203,6 +254,7 @@ func (s *Sem) WaitTimeout(d time.Duration) bool {
 	// We were already dequeued by a Post: the permit is (or will be) in
 	// the channel. Take it.
 	<-w.ch
+	s.parkEnd(t0)
 	if s.st != nil {
 		s.st.Waits.Inc()
 	}

@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGaugeBasics(t *testing.T) {
+	var g Gauge
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if got := g.Load(); got != 1 {
+		t.Fatalf("Load = %d, want 1", got)
+	}
+	if got := g.Add(-5); got != -4 {
+		t.Fatalf("Add(-5) = %d, want -4", got)
+	}
+	g.Set(7)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("Load after Set = %d, want 7", got)
+	}
+	if got := g.Reset(); got != 7 {
+		t.Fatalf("Reset = %d, want 7", got)
+	}
+	if got := g.Load(); got != 0 {
+		t.Fatalf("Load after Reset = %d, want 0", got)
+	}
+}
+
+func TestCounterNegativeAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Counter.Add(-1) did not panic")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+// Balanced Inc/Dec pairs must cancel exactly under contention; run with
+// -race. (This is the queue-depth gauge discipline: every committed
+// enqueue is matched by one committed dequeue.)
+func TestGaugeConcurrentIncDec(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 10000
+	)
+	var g Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				g.Inc()
+			}
+			for i := 0; i < perW; i++ {
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Load(); got != 0 {
+		t.Fatalf("Gauge = %d, want 0 after balanced Inc/Dec", got)
+	}
+}

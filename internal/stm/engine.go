@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -123,6 +124,16 @@ type TMStats struct {
 	RetryWaits     stats.Counter // Retry callers that actually slept
 	RetryWakes     stats.Counter // sleeping retriers woken by commits
 	MaxAttempts    stats.Max     // worst retry count observed
+
+	// Latency histograms (log2-bucketed, always on — a handful of atomic
+	// adds per observation). Counters say how many aborts happened; these
+	// say how long attempts ran and how many tries a commit took, the
+	// quantities that dominate TM performance (PAPERS.md, "On the Cost of
+	// Concurrency in Transactional Memory").
+	CommitNanos obs.Histogram // wall time of attempts that committed
+	AbortNanos  obs.Histogram // wall time wasted by attempts that aborted
+	SerialNanos obs.Histogram // duration of serial-fallback episodes
+	Attempts    obs.Histogram // attempts per committed transaction (1 = first try)
 }
 
 // Snapshot returns all counters at one instant, keyed by name — handy for
@@ -146,6 +157,17 @@ func (s *TMStats) Snapshot() map[string]int64 {
 		"retry_waits":     s.RetryWaits.Load(),
 		"retry_wakes":     s.RetryWakes.Load(),
 		"max_attempts":    s.MaxAttempts.Load(),
+	}
+}
+
+// Histograms returns snapshots of the latency histograms, keyed by name —
+// the companion of Snapshot for the machine-readable metrics export.
+func (s *TMStats) Histograms() map[string]obs.HistogramSnapshot {
+	return map[string]obs.HistogramSnapshot{
+		"commit_ns": s.CommitNanos.Snapshot(),
+		"abort_ns":  s.AbortNanos.Snapshot(),
+		"serial_ns": s.SerialNanos.Snapshot(),
+		"attempts":  s.Attempts.Snapshot(),
 	}
 }
 
@@ -181,6 +203,10 @@ type Engine struct {
 	// debug enables the runtime sanitizer (see debug.go). Default set by
 	// the stmsan build tag; toggled with SetDebugChecks.
 	debug atomic.Bool
+
+	// tracer is the attached event tracer (see trace.go); nil when
+	// detached. Set during setup via SetTracer.
+	tracer *obs.Tracer
 
 	Stats TMStats
 }
@@ -232,6 +258,9 @@ func (e *Engine) newTx(attempt int) *Tx {
 	tx.gateHeld = false
 	tx.serialHeld = false
 	tx.readOnly = false
+	tx.began = time.Now()
+	tx.pend = tx.pend[:0]
+	tx.traceStart()
 	return tx
 }
 
@@ -247,6 +276,7 @@ func (e *Engine) recycle(tx *Tx) {
 	tx.owned = tx.owned[:0]
 	tx.onCommit = nil
 	tx.onAbort = nil
+	tx.pend = tx.pend[:0]
 	e.txPool.Put(tx)
 }
 
@@ -275,7 +305,7 @@ func (e *Engine) atomicImpl(fn func(*Tx), readOnly bool) error {
 		if attempt >= e.cfg.MaxRetries {
 			e.Stats.SerialFallback.Inc()
 			e.Stats.MaxAttempts.Observe(int64(attempt))
-			return e.runSerial(fn)
+			return e.runSerial(fn, attempt)
 		}
 		done, fallback, retrySet, err := e.attemptOnce(fn, attempt, readOnly)
 		if done {
@@ -284,7 +314,7 @@ func (e *Engine) atomicImpl(fn func(*Tx), readOnly bool) error {
 		}
 		if fallback {
 			e.Stats.SerialFallback.Inc()
-			return e.runSerial(fn)
+			return e.runSerial(fn, attempt+1)
 		}
 		if retrySet != nil {
 			// Harris retry: sleep until the read set changes, then
@@ -313,7 +343,7 @@ func (e *Engine) MustAtomic(fn func(*Tx)) {
 // dedup's scaling in Section 5.4.
 func (e *Engine) AtomicRelaxed(fn func(*Tx)) error {
 	e.Stats.RelaxedTxns.Inc()
-	return e.runSerial(fn)
+	return e.runSerial(fn, 0)
 }
 
 // attemptOnce runs one optimistic attempt. done reports the transaction
@@ -367,6 +397,7 @@ func (e *Engine) attemptOnce(fn func(*Tx), attempt int, readOnly bool) (done, fa
 	}
 	if tx.tryCommit() {
 		tx.releaseGate()
+		tx.noteCommitted(obs.EvTxnCommit)
 		tx.runCommitHandlers()
 		e.Stats.Commits.Inc()
 		e.recycle(tx)
@@ -391,16 +422,20 @@ func (tx *Tx) releaseSerial() {
 	}
 }
 
-// runSerial executes fn irrevocably under the global lock.
-func (e *Engine) runSerial(fn func(*Tx)) error {
+// runSerial executes fn irrevocably under the global lock. attempts is
+// the number of optimistic attempts that preceded the fallback (0 for
+// AtomicRelaxed, which never tried optimistically).
+func (e *Engine) runSerial(fn func(*Tx), attempts int) error {
 	e.serialGate.Lock()
 	e.Stats.Starts.Inc()
 	tx := &Tx{
-		e:      e,
-		id:     e.txid.Add(1),
-		start:  e.clock.Load(),
-		mode:   modeSerial,
-		status: txActive,
+		e:       e,
+		id:      e.txid.Add(1),
+		start:   e.clock.Load(),
+		mode:    modeSerial,
+		status:  txActive,
+		attempt: attempts,
+		began:   time.Now(),
 	}
 	tx.serialHeld = true
 	defer func() {
@@ -425,6 +460,12 @@ func (e *Engine) runSerial(fn func(*Tx)) error {
 		if e.retryWatchersActive() {
 			e.wakeAllRetriers()
 		}
+		if attempts > 0 {
+			// A serial-fallback episode: the whole window during which
+			// this transaction excluded all optimism.
+			e.Stats.SerialNanos.Observe(time.Since(tx.began).Nanoseconds())
+		}
+		tx.noteCommitted(obs.EvTxnSerial)
 		tx.runCommitHandlers()
 		e.Stats.Commits.Inc()
 		e.Stats.SerialCommits.Inc()
@@ -456,6 +497,10 @@ func (tx *Tx) CommitEarly() {
 		if tx.e.retryWatchersActive() {
 			tx.e.wakeAllRetriers()
 		}
+		if tx.attempt > 0 {
+			tx.e.Stats.SerialNanos.Observe(time.Since(tx.began).Nanoseconds())
+		}
+		tx.noteCommitted(obs.EvTxnEarlyCommit)
 		tx.runCommitHandlers()
 		tx.e.Stats.Commits.Inc()
 		tx.e.Stats.SerialCommits.Inc()
@@ -467,6 +512,7 @@ func (tx *Tx) CommitEarly() {
 		panic(abortSignal{cause: causeConflict})
 	}
 	tx.releaseGate()
+	tx.noteCommitted(obs.EvTxnEarlyCommit)
 	tx.runCommitHandlers()
 	tx.e.Stats.Commits.Inc()
 	tx.e.Stats.EarlyCommits.Inc()

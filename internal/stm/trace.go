@@ -1,0 +1,126 @@
+package stm
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// This file is the STM side of the observability layer (internal/obs):
+// the commit-deferred trace-emission API and the lifecycle bookkeeping
+// that feeds the latency histograms in TMStats.
+//
+// The invariant mirrors Algorithm 5's SEMPOST deferral: nothing an
+// optimistic attempt does may become observable unless the attempt
+// commits. Trace events are observable effects, so Tx.Trace buffers them
+// in the attempt (tx.pend) and the commit path flushes them; rollback
+// discards them and emits only the terminal txn.abort event. The cvlint
+// impuretxn analyzer enforces the corresponding source-level rule: direct
+// obs.Tracer emission inside a transaction body is a misuse, Tx.Trace is
+// the sanctioned API.
+
+// SetTracer attaches an event tracer to the engine (nil detaches). Like
+// SetDebugChecks it is intended for setup: attach before the engine is
+// shared across goroutines. The disabled-tracer fast path of every
+// instrumented operation is one nil check plus one atomic load.
+func (e *Engine) SetTracer(tr *obs.Tracer) { e.tracer = tr }
+
+// Tracer returns the attached tracer, or nil. The result is safe to call
+// methods on either way (obs methods are nil-safe).
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
+
+// Trace records a trace event attributed to this transaction, using the
+// transaction id as the event's lane. Inside an optimistic attempt the
+// event is buffered and reaches the tracer only if the attempt commits;
+// an aborted attempt's events are discarded (the trace never shows
+// effects of attempts that logically never ran). In serial (irrevocable)
+// transactions, and after CommitEarly, the event is emitted immediately —
+// such code runs exactly once by construction.
+func (tx *Tx) Trace(typ obs.EventType, a, b int64) {
+	tr := tx.e.tracer
+	if !tr.Enabled() {
+		return
+	}
+	if tx.mode == modeSerial || tx.status != txActive {
+		tr.Emit(tx.id, typ, a, b)
+		return
+	}
+	tx.pend = append(tx.pend, obs.Event{TS: tr.Now(), Type: typ, Lane: tx.id, A: a, B: b})
+}
+
+// traceStart buffers the attempt-start event (surfaces only on commit).
+func (tx *Tx) traceStart() {
+	if tr := tx.e.tracer; tr.Enabled() && tx.mode != modeSerial {
+		tx.pend = append(tx.pend, obs.Event{TS: tr.Now(), Type: obs.EvTxnStart, Lane: tx.id})
+	}
+}
+
+// flushTrace publishes the attempt's buffered events.
+func (tx *Tx) flushTrace(tr *obs.Tracer) {
+	for i := range tx.pend {
+		tr.EmitEvent(tx.pend[i])
+	}
+	tx.pend = tx.pend[:0]
+}
+
+// noteCommitted records commit-side observability: the commit-latency and
+// attempts-to-commit histograms (always on), and — when tracing — the
+// flush of the attempt's buffered events plus a span event covering the
+// whole attempt. ev selects the span type (commit, early-commit, serial).
+func (tx *Tx) noteCommitted(ev obs.EventType) {
+	st := &tx.e.Stats
+	var dns int64
+	if !tx.began.IsZero() {
+		dns = time.Since(tx.began).Nanoseconds()
+		st.CommitNanos.Observe(dns)
+	}
+	st.Attempts.Observe(int64(tx.attempt) + 1)
+	if tr := tx.e.tracer; tr.Enabled() {
+		tx.flushTrace(tr)
+		tr.EmitEvent(obs.Event{
+			TS:   tr.Now() - dns,
+			Dur:  dns,
+			Type: ev,
+			Lane: tx.id,
+			A:    int64(tx.attempt) + 1,
+		})
+	}
+}
+
+// traceReason maps an internal abort cause to its exported reason code.
+func traceReason(c abortCause) int64 {
+	switch c {
+	case causeCapacity:
+		return obs.AbortCapacity
+	case causeSyscall:
+		return obs.AbortSyscall
+	case causeCancel:
+		return obs.AbortCancel
+	case causeRetry:
+		return obs.AbortRetry
+	default:
+		return obs.AbortConflict
+	}
+}
+
+// noteAborted discards the attempt's buffered events and records the
+// abort: latency histogram always, plus the terminal abort span (with
+// reason) when tracing — the only trace an aborted attempt leaves.
+func (tx *Tx) noteAborted(cause abortCause) {
+	tx.pend = tx.pend[:0]
+	var dns int64
+	if !tx.began.IsZero() {
+		dns = time.Since(tx.began).Nanoseconds()
+		tx.e.Stats.AbortNanos.Observe(dns)
+	}
+	if tr := tx.e.tracer; tr.Enabled() {
+		tr.EmitEvent(obs.Event{
+			TS:   tr.Now() - dns,
+			Dur:  dns,
+			Type: obs.EvTxnAbort,
+			Lane: tx.id,
+			A:    traceReason(cause),
+			B:    int64(tx.attempt),
+		})
+	}
+}

@@ -1,0 +1,155 @@
+package stm
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func countByType(evs []obs.Event) map[obs.EventType]int {
+	m := make(map[obs.EventType]int)
+	for _, ev := range evs {
+		m[ev.Type]++
+	}
+	return m
+}
+
+// A committed transaction's buffered events (start + user Trace calls)
+// surface, followed by the commit span.
+func TestTraceCommittedEventsSurface(t *testing.T) {
+	e := NewEngine(Config{Algorithm: AlgWriteThrough})
+	tr := obs.NewTracer(1024)
+	e.SetTracer(tr)
+	if e.Tracer() != tr {
+		t.Fatal("Tracer() did not return the attached tracer")
+	}
+	tr.Enable()
+
+	v := NewVar(e, 0)
+	e.MustAtomic(func(tx *Tx) {
+		tx.Trace(obs.EvCVEnqueue, 42, 0)
+		Write(tx, v, 1)
+	})
+	tr.Disable()
+
+	got := countByType(tr.Events())
+	if got[obs.EvTxnStart] != 1 || got[obs.EvTxnCommit] != 1 || got[obs.EvCVEnqueue] != 1 {
+		t.Fatalf("event counts = %v, want one each of start/commit/enqueue", got)
+	}
+	for _, ev := range tr.Events() {
+		if ev.Type == obs.EvTxnCommit && ev.A != 1 {
+			t.Errorf("commit span attempts = %d, want 1", ev.A)
+		}
+	}
+}
+
+// An aborted attempt leaves ONLY its terminal txn.abort event: the
+// buffered start and user events are discarded, mirroring the paper's
+// SEMPOST deferral (nothing an aborted attempt did is observable).
+func TestTraceAbortDiscardsBufferedEvents(t *testing.T) {
+	e := NewEngine(Config{Algorithm: AlgWriteThrough})
+	tr := obs.NewTracer(1024)
+	e.SetTracer(tr)
+	tr.Enable()
+
+	sentinel := errors.New("cancelled")
+	err := e.Atomic(func(tx *Tx) {
+		tx.Trace(obs.EvCVEnqueue, 7, 0) // must never surface
+		tx.Cancel(sentinel)
+	})
+	tr.Disable()
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Atomic err = %v", err)
+	}
+
+	got := countByType(tr.Events())
+	if got[obs.EvCVEnqueue] != 0 || got[obs.EvTxnStart] != 0 {
+		t.Fatalf("aborted attempt leaked buffered events: %v", got)
+	}
+	if got[obs.EvTxnAbort] != 1 {
+		t.Fatalf("event counts = %v, want exactly one txn.abort", got)
+	}
+	for _, ev := range tr.Events() {
+		if ev.Type == obs.EvTxnAbort && ev.A != obs.AbortCancel {
+			t.Errorf("abort reason = %s, want cancel", obs.AbortReasonName(ev.A))
+		}
+	}
+}
+
+// CommitEarly flushes the attempt's buffered events at the punctuation
+// point; events traced after it are emitted directly (the code after an
+// early commit runs exactly once).
+func TestTraceCommitEarlyFlushes(t *testing.T) {
+	e := NewEngine(Config{Algorithm: AlgWriteThrough})
+	tr := obs.NewTracer(1024)
+	e.SetTracer(tr)
+	tr.Enable()
+
+	v := NewVar(e, 0)
+	e.MustAtomic(func(tx *Tx) {
+		Write(tx, v, 1)
+		tx.Trace(obs.EvCVEnqueue, 1, 0)
+		tx.CommitEarly()
+		tx.Trace(obs.EvCVWake, 1, 0) // post-commit: direct emission
+	})
+	tr.Disable()
+
+	got := countByType(tr.Events())
+	if got[obs.EvTxnEarlyCommit] != 1 || got[obs.EvCVEnqueue] != 1 || got[obs.EvCVWake] != 1 {
+		t.Fatalf("event counts = %v", got)
+	}
+}
+
+// The latency histograms in TMStats populate on both the commit and abort
+// paths, and Histograms() exposes them under stable keys.
+func TestTMStatsHistogramsPopulate(t *testing.T) {
+	e := NewEngine(Config{Algorithm: AlgWriteThrough})
+	v := NewVar(e, 0)
+	for i := 0; i < 10; i++ {
+		e.MustAtomic(func(tx *Tx) { Write(tx, v, i) })
+	}
+	sentinel := errors.New("x")
+	_ = e.Atomic(func(tx *Tx) { tx.Cancel(sentinel) })
+
+	h := e.Stats.Histograms()
+	for _, key := range []string{"commit_ns", "abort_ns", "serial_ns", "attempts"} {
+		if _, ok := h[key]; !ok {
+			t.Errorf("Histograms() missing key %q", key)
+		}
+	}
+	if h["commit_ns"].Count != 10 {
+		t.Errorf("commit_ns count = %d, want 10", h["commit_ns"].Count)
+	}
+	if h["abort_ns"].Count != 1 {
+		t.Errorf("abort_ns count = %d, want 1", h["abort_ns"].Count)
+	}
+	if h["attempts"].Count != 10 || h["attempts"].Sum != 10 {
+		t.Errorf("attempts count=%d sum=%d, want 10/10 (all first-try)", h["attempts"].Count, h["attempts"].Sum)
+	}
+	if len(h["commit_ns"].Buckets) == 0 {
+		t.Error("commit_ns has no buckets")
+	}
+}
+
+// Handlers registered via OnCommit produce a txn.handlers event, emitted
+// after the commit (direct emission: handlers run post-commit).
+func TestTraceHandlerRunEvent(t *testing.T) {
+	e := NewEngine(Config{Algorithm: AlgWriteThrough})
+	tr := obs.NewTracer(1024)
+	e.SetTracer(tr)
+	tr.Enable()
+
+	ran := false
+	e.MustAtomic(func(tx *Tx) {
+		tx.OnCommit(func() { ran = true })
+	})
+	tr.Disable()
+	if !ran {
+		t.Fatal("handler did not run")
+	}
+	got := countByType(tr.Events())
+	if got[obs.EvHandlerRun] != 1 {
+		t.Fatalf("event counts = %v, want one txn.handlers", got)
+	}
+}

@@ -1,6 +1,11 @@
 package stm
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
 
 // mode selects the access/commit algorithm for one transaction attempt.
 type mode int
@@ -96,6 +101,13 @@ type Tx struct {
 	serialHeld bool // holds the serial gate's write side (modeSerial)
 	readOnly   bool // AtomicRead: writes forbidden, lock-free commit
 	attempt    int
+
+	began time.Time // attempt start, for the latency histograms and trace spans
+	// pend buffers trace events emitted during this attempt (Tx.Trace).
+	// They reach the tracer only if the attempt commits — the trace-level
+	// analogue of the paper's SEMPOST deferral — and are discarded by
+	// rollback, so aborted attempts leave only their terminal abort event.
+	pend []obs.Event
 }
 
 // Engine returns the engine this transaction runs on.
@@ -462,6 +474,7 @@ func (tx *Tx) rollback(cause abortCause) {
 	}
 	tx.onAbort = nil
 	tx.onCommit = nil
+	tx.noteAborted(cause)
 	st := &tx.e.Stats
 	st.Aborts.Inc()
 	switch cause {
@@ -487,5 +500,7 @@ func (tx *Tx) runCommitHandlers() {
 	}
 	if n := len(hs); n > 0 {
 		tx.e.Stats.HandlersRun.Add(int64(n))
+		// Direct emission: handlers run strictly after the commit.
+		tx.e.tracer.Emit(tx.id, obs.EvHandlerRun, int64(n), 0)
 	}
 }

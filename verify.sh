@@ -25,6 +25,15 @@ go test -tags stmsan ./internal/stm ./internal/core
 
 step "cvlint (static misuse analyzers)"
 go run ./cmd/cvlint ./...
+go run ./cmd/cvlint ./internal/obs
+
+step "tracer overhead guard (disabled path must not allocate)"
+go test -run 'TestTraceDisabledNoAlloc|TestTraceEnabledNoAlloc|TestHistogramObserveNoAlloc' ./internal/obs
+go test -run '^$' -bench BenchmarkTraceDisabled -benchmem ./internal/obs | tee /tmp/obs_bench.$$ >/dev/null
+grep -q ' 0 allocs/op' /tmp/obs_bench.$$ || {
+	echo "BenchmarkTraceDisabled allocates:"; cat /tmp/obs_bench.$$; rm -f /tmp/obs_bench.$$; exit 1;
+}
+rm -f /tmp/obs_bench.$$
 
 step "modelcheck (bounded exhaustive interleavings)"
 go run ./cmd/modelcheck -waiters 2 -notifyone 1
