@@ -18,10 +18,22 @@
 //	                 a wait returning true, and no wait may report a
 //	                 notification nobody sent.
 //
+//	-mode chaos      duration-bounded soak with the deterministic fault
+//	                 injector armed across every hook point (forced
+//	                 aborts, capacity aborts, delayed wake-ups and
+//	                 lost-wakeup windows): a bounded-buffer conservation
+//	                 workload plus timed- and context-cancellation race
+//	                 probes run under LockTM and Txn. -seed fixes the
+//	                 injected fault sequence (the injector's decisions are
+//	                 a pure function of seed, point and arrival index);
+//	                 -faultrate and -duration bound the storm. On failure
+//	                 the exact replay command is printed.
+//
 // Exit status is non-zero if any anomaly is detected.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -32,16 +44,20 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/facility"
+	"repro/internal/fault"
 	"repro/internal/pthreadcv"
 	"repro/internal/stm"
 	"repro/internal/syncx"
 )
 
 func main() {
-	mode := flag.String("mode", "spurious", "spurious | wakeup | storm")
+	mode := flag.String("mode", "spurious", "spurious | wakeup | storm | timed | chaos")
 	goroutines := flag.Int("goroutines", 8, "concurrency level")
 	iters := flag.Int("iters", 2000, "iterations / items per goroutine")
 	baseline := flag.Bool("baseline", false, "spurious mode: use the pthread baseline with injection")
+	seed := flag.Uint64("seed", 0xC4A05, "chaos mode: fault injector seed")
+	faultrate := flag.Float64("faultrate", 0.2, "chaos mode: per-hook-point injection probability")
+	duration := flag.Duration("duration", 2*time.Second, "chaos mode: soak time per system")
 	flag.Parse()
 
 	var failed bool
@@ -54,6 +70,8 @@ func main() {
 		failed = !runStorm(*goroutines, *iters)
 	case "timed":
 		failed = !runTimed(*iters)
+	case "chaos":
+		failed = !runChaos(*goroutines, *seed, *faultrate, *duration)
 	default:
 		fmt.Fprintf(os.Stderr, "cvstress: unknown mode %q\n", *mode)
 		os.Exit(2)
@@ -259,4 +277,171 @@ func runStorm(goroutines, iters int) bool {
 	fmt.Printf("storm: %d committed notifies, %d wakes (must equal), %d aborted notify txns\n",
 		committedNotifies.Load(), got, e.Stats.ExplicitAborts.Load())
 	return got == committedNotifies.Load()
+}
+
+// chaosRules builds the injection plan for one chaos soak: forced
+// conflicts at transaction begin and orec acquisition, simulated
+// capacity aborts at pre-commit, and delayed wake-ups / widened
+// lost-wakeup windows at every semaphore and condvar hook point.
+func chaosRules(seed uint64, rate float64) *fault.Injector {
+	stall := fault.Rule{Rate: rate, Action: fault.ActDelay, Delay: 100 * time.Microsecond}
+	return fault.New(seed).
+		Set(fault.TxBegin, fault.Rule{Rate: rate / 2, Action: fault.ActAbort}).
+		Set(fault.OrecAcquire, fault.Rule{Rate: rate, Action: fault.ActAbort}).
+		Set(fault.PreCommit, fault.Rule{Rate: rate / 2, Action: fault.ActCapacity}).
+		Set(fault.SemPost, stall).
+		Set(fault.SemPark, stall).
+		Set(fault.CVEnqueue, stall).
+		Set(fault.CVNotify, stall)
+}
+
+// runChaos soaks the TM-condvar systems under deterministic fault
+// injection: a bounded-buffer conservation workload (no item lost or
+// duplicated, checked by count, sum and sum-of-squares) with concurrent timed-wait and
+// context-cancellation race probes, all on the same engine the injector
+// is attacking.
+func runChaos(goroutines int, seed uint64, rate float64, dur time.Duration) bool {
+	ok := true
+	for _, kind := range []facility.Kind{facility.LockTM, facility.Txn} {
+		if !runChaosKind(kind, goroutines, seed, rate, dur) {
+			ok = false
+		}
+	}
+	if !ok {
+		fmt.Printf("replay: go run ./cmd/cvstress -mode chaos -seed %d -faultrate %g -duration %s -goroutines %d\n",
+			seed, rate, dur, goroutines)
+	}
+	return ok
+}
+
+func runChaosKind(kind facility.Kind, goroutines int, seed uint64, rate float64, dur time.Duration) bool {
+	e := stm.NewEngine(stm.Config{})
+	in := chaosRules(seed, rate)
+	e.SetFault(in)
+	in.Arm()
+	defer in.Disarm()
+	tk := &facility.Toolkit{Kind: kind, Engine: e}
+
+	deadline := time.Now().Add(dur)
+
+	// Conservation workload: producers feed a bounded buffer until the
+	// deadline; every item must come out exactly once (count, sum and
+	// sum-of-squares all conserved).
+	q := facility.NewQueue[int](tk, 8)
+	producers := goroutines / 2
+	if producers == 0 {
+		producers = 1
+	}
+	var produced, consumed atomic.Int64
+	var prodSum, consSum atomic.Int64
+	var prodSq, consSq atomic.Int64
+	var prodWg, consWg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		prodWg.Add(1)
+		go func() {
+			defer prodWg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				x := p<<24 | i
+				q.Put(x)
+				produced.Add(1)
+				prodSum.Add(int64(x))
+				prodSq.Add(int64(x) * int64(x) % (1 << 31))
+			}
+		}()
+	}
+	for c := 0; c < producers; c++ {
+		consWg.Add(1)
+		go func() {
+			defer consWg.Done()
+			for {
+				x, okGet := q.Get()
+				if !okGet {
+					return
+				}
+				consumed.Add(1)
+				consSum.Add(int64(x))
+				consSq.Add(int64(x) * int64(x) % (1 << 31))
+			}
+		}()
+	}
+
+	// Race probes on the same injected engine: the timed-wait race and
+	// the cancellation race, each holding the lost/spurious invariant.
+	cv := core.New(e, tk.CVOpts)
+	var m syncx.Mutex
+	var races, lost, spurious int
+	var cancels, cancelRaces int
+	for i := 0; time.Now().Before(deadline); i++ {
+		// Timed probe (every iteration): notify vs a short timeout.
+		res := make(chan bool, 1)
+		go func(d time.Duration) {
+			m.Lock()
+			// cvlint:ignore waitloop harness probes the timeout/notify race one-shot by design
+			got := cv.WaitLockedTimeout(&m, d)
+			m.Unlock()
+			res <- got
+		}(time.Duration(i%5) * 100 * time.Microsecond)
+		time.Sleep(time.Duration(i%7) * 50 * time.Microsecond)
+		notified := cv.NotifyOne(nil)
+		got := <-res
+		races++
+		if notified && !got {
+			lost++
+		}
+		if !notified && got {
+			spurious++
+		}
+
+		// Cancellation probe: cancel races a notify; a notifier that
+		// claimed the waiter must be observed, a cancel that won must
+		// leave nothing behind.
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			m.Lock()
+			// cvlint:ignore waitloop harness probes the cancel/notify race one-shot by design
+			got := cv.WaitLockedCtx(&m, ctx)
+			m.Unlock()
+			res <- got
+		}()
+		for cv.Len() == 0 && time.Now().Before(deadline.Add(time.Second)) {
+			time.Sleep(10 * time.Microsecond)
+		}
+		var found bool
+		var pwg sync.WaitGroup
+		pwg.Add(2)
+		go func() { defer pwg.Done(); found = cv.NotifyOne(nil) }()
+		go func() { defer pwg.Done(); cancel() }()
+		pwg.Wait()
+		got = <-res
+		cancelRaces++
+		if found != got {
+			if found {
+				lost++
+			} else {
+				spurious++
+			}
+		}
+		if !got {
+			cancels++
+		}
+	}
+
+	// Drain: wait for the producers to retire first — one may still be
+	// blocked in Put past the deadline with its item not yet counted —
+	// then for consumption to catch up, and only then close the queue.
+	prodWg.Wait()
+	for consumed.Load() < produced.Load() {
+		time.Sleep(time.Millisecond)
+	}
+	q.Close()
+	consWg.Wait()
+
+	conserved := produced.Load() == consumed.Load() &&
+		prodSum.Load() == consSum.Load() && prodSq.Load() == consSq.Load()
+	kindOK := conserved && lost == 0 && spurious == 0
+	fmt.Printf("%-22s: %d items conserved=%v | timed=%d cancel=%d (cancelled=%d) lost=%d spurious=%d | faults=%d health=%v commits=%d aborts=%d serial=%d\n",
+		kind, produced.Load(), conserved, races, cancelRaces, cancels, lost, spurious,
+		in.FiredTotal(), e.Health(), e.Stats.Commits.Load(), e.Stats.Aborts.Load(), e.Stats.SerialCommits.Load())
+	return kindOK
 }

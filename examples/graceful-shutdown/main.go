@@ -1,0 +1,91 @@
+// Graceful shutdown: context-cancelled waiters draining out of a live
+// facility. A service built on the transaction-friendly condvar has two
+// populations to unwind on shutdown: request goroutines parked on a
+// condition that will never come true again, and the worker pool behind
+// them. Abortable waits handle both — WaitLockedCtx returns false the
+// moment the shutdown context is cancelled (no notification invented,
+// no queue node or semaphore permit leaked), and Pool.CloseCtx bounds
+// how long the caller waits for the drain while the shutdown itself
+// always completes in the background.
+//
+//	go run ./examples/graceful-shutdown
+package main
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/facility"
+	"repro/internal/stm"
+	"repro/internal/syncx"
+)
+
+// report is what one shutdown rehearsal observed.
+type report struct {
+	jobs     int64 // worker executions completed before shutdown
+	drained  int64 // parked waiters released by cancellation
+	notified int64 // parked waiters released by a real notification
+	closeErr error // result of the bounded pool drain
+}
+
+// run serves a few batches on a worker pool while `waiters` goroutines
+// park on a condvar for work that never arrives, then shuts everything
+// down when ctx is cancelled: the parked waiters drain via
+// WaitLockedCtx and the pool is retired with CloseCtx under the given
+// grace period. It returns only after every goroutine it started has
+// unwound — a stranded waiter would hang it.
+func run(ctx context.Context, kind facility.Kind, workers, waiters, batches int, grace time.Duration) report {
+	e := stm.NewEngine(stm.Config{})
+	tk := &facility.Toolkit{Kind: kind, Engine: e}
+
+	var rep report
+
+	// The request population: parked until cancelled (or notified, if a
+	// shutdown race delivers a real wake-up first — both are clean exits).
+	cv := tk.NewCondVar()
+	var m syncx.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Lock()
+			// cvlint:ignore waitloop one-shot shutdown park: any return path (cancel or notify) ends this waiter
+			notified := cv.WaitLockedCtx(&m, ctx)
+			m.Unlock()
+			if notified {
+				atomic.AddInt64(&rep.notified, 1)
+			} else {
+				atomic.AddInt64(&rep.drained, 1)
+			}
+		}()
+	}
+
+	// The worker population: a persistent pool serving batches.
+	pool := facility.NewPool(tk, workers)
+	for b := 0; b < batches; b++ {
+		pool.Run(func(int) { atomic.AddInt64(&rep.jobs, 1) })
+	}
+
+	// Shutdown: wait for the stop signal, then unwind both populations.
+	<-ctx.Done()
+	wg.Wait() // cancellation released every parked waiter
+
+	closeCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	rep.closeErr = pool.CloseCtx(closeCtx)
+	return rep
+}
+
+func main() {
+	for _, kind := range []facility.Kind{facility.LockTM, facility.Txn} {
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		rep := run(ctx, kind, 4, 8, 3, 2*time.Second)
+		cancel()
+		fmt.Printf("%-22s jobs=%d drained=%d notified=%d closeErr=%v\n",
+			kind, rep.jobs, rep.drained, rep.notified, rep.closeErr)
+	}
+}

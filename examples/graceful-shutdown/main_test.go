@@ -1,0 +1,49 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/facility"
+)
+
+// TestGracefulShutdownDrainsEveryWaiter runs the example's shutdown
+// rehearsal under both TM-condvar kinds and checks the contract the
+// example demonstrates: every parked waiter is accounted for (released
+// by cancellation or by a real notification — never stranded), all
+// batches ran, and the bounded pool drain succeeds within its grace
+// period.
+func TestGracefulShutdownDrainsEveryWaiter(t *testing.T) {
+	const (
+		workers = 4
+		waiters = 8
+		batches = 3
+	)
+	for _, kind := range []facility.Kind{facility.LockTM, facility.Txn} {
+		t.Run(kind.Short(), func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+			defer cancel()
+
+			done := make(chan report, 1)
+			go func() { done <- run(ctx, kind, workers, waiters, batches, 5*time.Second) }()
+			var rep report
+			select {
+			case rep = <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatal("shutdown hung: a waiter or worker was stranded")
+			}
+
+			if got := rep.drained + rep.notified; got != waiters {
+				t.Fatalf("waiters accounted = %d (drained=%d notified=%d), want %d",
+					got, rep.drained, rep.notified, waiters)
+			}
+			if rep.jobs != workers*batches {
+				t.Fatalf("jobs = %d, want %d", rep.jobs, workers*batches)
+			}
+			if rep.closeErr != nil {
+				t.Fatalf("CloseCtx: %v", rep.closeErr)
+			}
+		})
+	}
+}

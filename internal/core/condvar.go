@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/sem"
 	"repro/internal/stats"
@@ -52,6 +54,7 @@ type CVStats struct {
 	NotifyEmpty stats.Counter // notifies that found an empty queue
 	Woken       stats.Counter // total threads woken
 	Timeouts    stats.Counter // timed waits that expired un-notified
+	Cancels     stats.Counter // context waits that ended cancelled
 	MaxQueue    stats.Max     // deepest queue observed by a notifier
 
 	// Wait latency, split at the committed SEMPOST — the two halves the
@@ -76,6 +79,7 @@ func (s *CVStats) Snapshot() map[string]int64 {
 		"notify_empty": s.NotifyEmpty.Load(),
 		"woken":        s.Woken.Load(),
 		"timeouts":     s.Timeouts.Load(),
+		"cancels":      s.Cancels.Load(),
 		"max_queue":    s.MaxQueue.Load(),
 		"sem_posts":    s.Sem.Posts.Load(),
 		"sem_blocks":   s.Sem.Blocks.Load(),
@@ -182,7 +186,22 @@ func (cv *CondVar) newNode() *Node {
 	if tr := cv.e.Tracer(); tr != nil {
 		n.sem.SetTrace(tr, n.id)
 	}
+	n.sem.SetFault(cv.e.Fault())
 	return n
+}
+
+// faultWindow stalls at a condvar hook point when the engine's injector
+// orders it. Only delays are meaningful here — the windows these hooks
+// sit in (enqueue→park and dequeue→post) have no transaction attempt to
+// abort — so abort-shaped decisions degrade to instant no-ops (still
+// traced as injected).
+func (cv *CondVar) faultWindow(p fault.Point, lane uint64) {
+	d := cv.e.Fault().At(p)
+	if d.Action == fault.ActNone {
+		return
+	}
+	cv.e.Tracer().Emit(lane, obs.EvFaultInject, int64(p), int64(d.Action))
+	d.Pause()
 }
 
 func (cv *CondVar) acquireNode() *Node {
@@ -278,7 +297,11 @@ func (cv *CondVar) Wait(s syncx.Sync, cont func(syncx.Sync)) {
 	n.next.StoreDirect(nil) // line 1: the node is private here; cvlint:ignore directstore privatized (Section 3.3)
 	cv.enqueue(s.Tx(), n)   // lines 2–8
 	s.End()                 // line 9: break atomicity
-	n.sem.Wait()            // line 10: sleep until notified
+	// Fault hook: the paper's lost-wakeup window — enqueued and visible
+	// to notifiers, sync block over, but not yet asleep. A notify landing
+	// here must be memorized by the semaphore, never lost.
+	cv.faultWindow(fault.CVEnqueue, n.id)
+	n.sem.Wait() // line 10: sleep until notified
 	cv.noteWake(n)
 	cv.releaseNode(n)
 	if cont != nil {
@@ -295,6 +318,7 @@ func (cv *CondVar) WaitTagged(s syncx.Sync, tag any, cont func(syncx.Sync)) {
 	n.tag.StoreDirect(tag)  // cvlint:ignore directstore pre-enqueue: node is owner-private (Section 3.3)
 	cv.enqueue(s.Tx(), n)
 	s.End()
+	cv.faultWindow(fault.CVEnqueue, n.id)
 	n.sem.Wait()
 	cv.noteWake(n)
 	cv.releaseNode(n)
@@ -313,6 +337,7 @@ func (cv *CondVar) WaitLocked(m *syncx.Mutex) {
 	n.next.StoreDirect(nil) // cvlint:ignore directstore pre-enqueue: node is owner-private (Section 3.3)
 	cv.enqueue(nil, n)
 	m.Unlock()
+	cv.faultWindow(fault.CVEnqueue, n.id)
 	n.sem.Wait()
 	cv.noteWake(n)
 	cv.releaseNode(n)
@@ -333,6 +358,7 @@ func (cv *CondVar) WaitLockedTimeout(m *syncx.Mutex, d time.Duration) bool {
 	n.next.StoreDirect(nil) // cvlint:ignore directstore pre-enqueue: node is owner-private (Section 3.3)
 	cv.enqueue(nil, n)
 	m.Unlock()
+	cv.faultWindow(fault.CVEnqueue, n.id)
 	if n.sem.WaitTimeout(d) {
 		cv.noteWake(n)
 		cv.releaseNode(n)
@@ -356,6 +382,87 @@ func (cv *CondVar) WaitLockedTimeout(m *syncx.Mutex, d time.Duration) bool {
 	cv.noteWake(n)
 	cv.releaseNode(n)
 	m.Lock()
+	return true
+}
+
+// WaitLockedCtx is WaitLocked with cancellation — the abortable wait
+// that production sync frameworks treat as the load-bearing primitive
+// (PAPERS.md, CQS). It reports true if the wait ended by notification
+// and false on cancellation. On either path the caller holds m again
+// when it returns.
+//
+// Cancellation races with notification exactly as WaitLockedTimeout's
+// timeout does: if a notifier dequeued this waiter before the waiter
+// could unlink itself, the notification wins — the (possibly
+// commit-deferred) semaphore post is consumed and the wait reports
+// true. No wake-up is ever lost, no permit is stranded in the node's
+// semaphore, and no node leaks into the recycled pool while still
+// queue-reachable (the stmsan invariants assert both).
+func (cv *CondVar) WaitLockedCtx(m *syncx.Mutex, ctx context.Context) bool {
+	n := cv.acquireNode()
+	n.next.StoreDirect(nil) // cvlint:ignore directstore pre-enqueue: node is owner-private (Section 3.3)
+	cv.enqueue(nil, n)
+	m.Unlock()
+	cv.faultWindow(fault.CVEnqueue, n.id)
+	if n.sem.WaitCtx(ctx) {
+		cv.noteWake(n)
+		cv.releaseNode(n)
+		m.Lock()
+		return true
+	}
+	// Cancelled. Unlink transactionally; this serializes against any
+	// in-flight notifier: exactly one of us dequeues the node.
+	if cv.removeNode(n) {
+		cv.releaseNode(n)
+		if cv.st != nil {
+			cv.st.Cancels.Inc()
+		}
+		m.Lock()
+		return false
+	}
+	// A notifier got the node first; its post is banked or imminent
+	// (imminent = after its outer transaction commits). Consume it —
+	// abandoning it here would strand a permit in the pooled node and
+	// wake a future, unrelated waiter spuriously.
+	n.sem.Wait()
+	cv.noteWake(n)
+	cv.releaseNode(n)
+	m.Lock()
+	return true
+}
+
+// WaitCtx is the continuation-passing Wait with cancellation, for
+// callers holding an arbitrary synchronization context. It reports true
+// if the wait ended by notification — in which case cont (if non-nil)
+// ran under a re-established context — and false on cancellation, in
+// which case cont does NOT run and no synchronization context is held
+// on return (the sync block was already broken before sleeping; a
+// cancelled caller re-establishes context itself if it needs one).
+//
+// The cancel/notify race resolves as in WaitLockedCtx: the notification
+// wins, and its permit is always consumed.
+func (cv *CondVar) WaitCtx(s syncx.Sync, ctx context.Context, cont func(syncx.Sync)) bool {
+	n := cv.acquireNode()
+	n.next.StoreDirect(nil) // cvlint:ignore directstore pre-enqueue: node is owner-private (Section 3.3)
+	cv.enqueue(s.Tx(), n)
+	s.End()
+	cv.faultWindow(fault.CVEnqueue, n.id)
+	if !n.sem.WaitCtx(ctx) {
+		if cv.removeNode(n) {
+			cv.releaseNode(n)
+			if cv.st != nil {
+				cv.st.Cancels.Inc()
+			}
+			return false
+		}
+		// Lost the race to a notifier: treat as notified.
+		n.sem.Wait()
+	}
+	cv.noteWake(n)
+	cv.releaseNode(n)
+	if cont != nil {
+		s.Exec(cont)
+	}
 	return true
 }
 
@@ -415,6 +522,7 @@ func (cv *CondVar) WaitTx(tx *stm.Tx) {
 	n.next.StoreDirect(nil) // cvlint:ignore directstore pre-enqueue: node is owner-private (Section 3.3)
 	cv.enqueue(tx, n)
 	tx.CommitEarly()
+	cv.faultWindow(fault.CVEnqueue, n.id)
 	n.sem.Wait()
 	cv.noteWake(n)
 	cv.releaseNode(n)
@@ -446,6 +554,7 @@ func (cv *CondVar) WaitAtCommit(tx *stm.Tx) {
 	n.next.StoreDirect(nil) // cvlint:ignore directstore pre-enqueue: node is owner-private (Section 3.3)
 	cv.enqueue(tx, n)
 	tx.OnCommit(func() {
+		cv.faultWindow(fault.CVEnqueue, n.id)
 		n.sem.Wait()
 		cv.noteWake(n)
 		cv.releaseNode(n)
@@ -458,6 +567,10 @@ func (cv *CondVar) WaitAtCommit(tx *stm.Tx) {
 // runs exactly once per real dequeue — from the notifier's commit handler,
 // or directly on the immediate-post ablation path.
 func (cv *CondVar) notifyCommitted(n *Node) {
+	// Fault hook: stall between the committed dequeue and the semaphore
+	// post — the window in which a timed-out or cancelled waiter races a
+	// wake-up it can no longer refuse.
+	cv.faultWindow(fault.CVNotify, n.id)
 	now := time.Now()
 	d := cv.depth.Load()
 	cv.depth.Dec()

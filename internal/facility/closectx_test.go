@@ -1,0 +1,120 @@
+package facility
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolCloseCtxCompletes: with an uncancelled context CloseCtx is
+// exactly Close — nil error, all workers gone, idempotent.
+func TestPoolCloseCtxCompletes(t *testing.T) {
+	forEachKind(t, func(t *testing.T, tk *Toolkit) {
+		p := NewPool(tk, 4)
+		var ran atomic.Int64
+		p.Run(func(int) { ran.Add(1) })
+		if ran.Load() != 4 {
+			t.Fatalf("ran = %d, want 4", ran.Load())
+		}
+		if err := p.CloseCtx(context.Background()); err != nil {
+			t.Fatalf("CloseCtx: %v", err)
+		}
+		// A second close of either flavour is a no-op on the committed
+		// shutdown, not a second drain cycle.
+		if err := p.CloseCtx(context.Background()); err != nil {
+			t.Fatalf("second CloseCtx: %v", err)
+		}
+	})
+}
+
+// TestPoolCloseCtxCancelled: a cancelled CloseCtx returns promptly with
+// ctx.Err() while the shutdown it initiated still completes in the
+// background — no worker is stranded on the command condvar.
+func TestPoolCloseCtxCancelled(t *testing.T) {
+	forEachKind(t, func(t *testing.T, tk *Toolkit) {
+		p := NewPool(tk, 2)
+		release := make(chan struct{})
+		started := make(chan struct{}, 2)
+		go p.Run(func(int) {
+			started <- struct{}{}
+			<-release
+		})
+		for i := 0; i < 2; i++ {
+			<-started
+		}
+
+		// Workers are mid-job, so the drain cannot finish yet; an
+		// already-expired context must abandon the wait immediately.
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		errc := make(chan error, 1)
+		go func() { errc <- p.CloseCtx(ctx) }()
+		select {
+		case err := <-errc:
+			if err != context.Canceled {
+				t.Fatalf("CloseCtx = %v, want context.Canceled", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("cancelled CloseCtx never returned")
+		}
+
+		// The close was still initiated: once the jobs finish, the
+		// workers observe it and a full Close drains cleanly.
+		close(release)
+		done := make(chan struct{})
+		go func() {
+			p.Close()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("abandoned shutdown stranded the workers")
+		}
+	})
+}
+
+// TestTaskQueueCloseCtx mirrors the pool contract: completion under a
+// live context, prompt ctx.Err() under cancellation, and a background
+// shutdown that still runs every submitted task and retires every
+// worker.
+func TestTaskQueueCloseCtx(t *testing.T) {
+	forEachKind(t, func(t *testing.T, tk *Toolkit) {
+		q := NewTaskQueue(tk, 2)
+		var ran atomic.Int64
+		q.Submit(func() { ran.Add(1) })
+		if err := q.CloseCtx(context.Background()); err != nil {
+			t.Fatalf("CloseCtx: %v", err)
+		}
+		if ran.Load() != 1 {
+			t.Fatalf("ran = %d, want 1", ran.Load())
+		}
+
+		// Cancelled flavour: block the workers, expire the context.
+		q = NewTaskQueue(tk, 2)
+		release := make(chan struct{})
+		started := make(chan struct{}, 1)
+		q.Submit(func() {
+			started <- struct{}{}
+			<-release
+		})
+		<-started
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if err := q.CloseCtx(ctx); err != context.Canceled {
+			t.Fatalf("CloseCtx = %v, want context.Canceled", err)
+		}
+		close(release)
+		done := make(chan struct{})
+		go func() {
+			q.Close()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("abandoned shutdown stranded the workers")
+		}
+	})
+}

@@ -20,6 +20,8 @@
 package facility
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/pthreadcv"
 	"repro/internal/stm"
@@ -127,3 +129,23 @@ func (tk *Toolkit) NewCondVar() *core.CondVar {
 // Transactional reports whether shared data is protected by transactions
 // (Kind Txn) rather than locks.
 func (tk *Toolkit) Transactional() bool { return tk.Kind == Txn }
+
+// awaitCtx runs wait in a background goroutine and returns nil once it
+// completes, or ctx.Err() if the context is cancelled first. The
+// background wait keeps running after a cancellation, so a drain that
+// was already initiated always runs to completion — cancellation only
+// stops the caller from waiting for it, it never strands the workers
+// mid-shutdown.
+func awaitCtx(ctx context.Context, wait func()) error {
+	done := make(chan struct{})
+	go func() {
+		wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,6 +1,8 @@
 package facility
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/stm"
 	"repro/internal/syncx"
@@ -17,6 +19,11 @@ type Pool interface {
 	Run(job func(worker int))
 	// Close terminates the workers.
 	Close()
+	// CloseCtx terminates the workers like Close but stops waiting for
+	// them when ctx is cancelled, returning ctx.Err(). The shutdown
+	// itself is already committed by then and completes in the
+	// background: every worker still observes the close and exits.
+	CloseCtx(ctx context.Context) error
 }
 
 // NewPool builds a pool of the toolkit's flavour with the given worker
@@ -94,10 +101,29 @@ func (p *lockPool) Run(job func(int)) {
 }
 
 func (p *lockPool) Close() {
+	p.initiateClose()
+	p.awaitDrained()
+}
+
+func (p *lockPool) CloseCtx(ctx context.Context) error {
+	p.initiateClose()
+	return awaitCtx(ctx, p.awaitDrained)
+}
+
+// initiateClose commits the shutdown: after it returns, every worker is
+// guaranteed to observe closed and exit. Idempotent.
+func (p *lockPool) initiateClose() {
 	p.mu.Lock()
-	p.closed = true
-	p.running = p.workers
-	p.newCmd.Broadcast()
+	if !p.closed {
+		p.closed = true
+		p.running = p.workers
+		p.newCmd.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+func (p *lockPool) awaitDrained() {
+	p.mu.Lock()
 	for p.running > 0 {
 		p.done.Wait(&p.mu)
 	}
@@ -149,7 +175,7 @@ func (p *txnPool) worker(id int) {
 			if stm.Read(tx, p.closed) {
 				r := stm.Read(tx, p.running) - 1
 				stm.Write(tx, p.running, r)
-				if r == 0 {
+				if r <= 0 {
 					p.done.NotifyAll(tx)
 				}
 				st = opClosed
@@ -175,7 +201,7 @@ func (p *txnPool) worker(id int) {
 		p.e.MustAtomic(func(tx *stm.Tx) {
 			r := stm.Read(tx, p.running) - 1
 			stm.Write(tx, p.running, r)
-			if r == 0 {
+			if r <= 0 {
 				p.done.NotifyAll(tx)
 			}
 		})
@@ -193,19 +219,37 @@ func (p *txnPool) Run(job func(int)) {
 }
 
 func (p *txnPool) Close() {
+	p.initiateClose()
+	p.awaitIdle()
+}
+
+func (p *txnPool) CloseCtx(ctx context.Context) error {
+	p.initiateClose()
+	return awaitCtx(ctx, p.awaitIdle)
+}
+
+// initiateClose commits the shutdown transactionally; once it has
+// committed every worker's next re-check observes closed. Idempotent.
+func (p *txnPool) initiateClose() {
 	p.e.MustAtomic(func(tx *stm.Tx) {
+		if stm.Read(tx, p.closed) {
+			return
+		}
 		stm.Write(tx, p.closed, true)
 		stm.Write(tx, p.running, p.workers)
 		p.newCmd.NotifyAll(tx)
 	})
-	p.awaitIdle()
 }
 
+// awaitIdle waits for running to drain. A close that lands while a Run
+// is in flight double-books running (exactly as in lockPool), so the
+// count can pass through zero and go negative: the drained condition is
+// <= 0, mirroring lockPool's `running > 0` wait loop.
 func (p *txnPool) awaitIdle() {
 	for {
 		done := false
 		p.e.MustAtomic(func(tx *stm.Tx) {
-			done = stm.Read(tx, p.running) == 0
+			done = stm.Read(tx, p.running) <= 0
 			if !done {
 				p.done.WaitTx(tx)
 			}

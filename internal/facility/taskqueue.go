@@ -1,6 +1,8 @@
 package facility
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/stm"
 	"repro/internal/syncx"
@@ -21,6 +23,11 @@ type TaskQueue interface {
 	// Close stops the workers after the queue empties and waits for them
 	// to exit.
 	Close()
+	// CloseCtx stops the workers like Close but abandons the wait when
+	// ctx is cancelled, returning ctx.Err(). The close itself is already
+	// committed by then: workers finish the remaining tasks and exit in
+	// the background.
+	CloseCtx(ctx context.Context) error
 }
 
 // NewTaskQueue builds a task queue of the toolkit's flavour with the given
@@ -103,9 +110,26 @@ func (q *lockTaskQueue) Drain() {
 }
 
 func (q *lockTaskQueue) Close() {
+	q.initiateClose()
+	q.awaitExited()
+}
+
+func (q *lockTaskQueue) CloseCtx(ctx context.Context) error {
+	q.initiateClose()
+	return awaitCtx(ctx, q.awaitExited)
+}
+
+func (q *lockTaskQueue) initiateClose() {
 	q.mu.Lock()
-	q.closed = true
-	q.workAvail.Broadcast()
+	if !q.closed {
+		q.closed = true
+		q.workAvail.Broadcast()
+	}
+	q.mu.Unlock()
+}
+
+func (q *lockTaskQueue) awaitExited() {
+	q.mu.Lock()
 	for q.exited < q.workers {
 		q.idle.Wait(&q.mu)
 	}
@@ -212,10 +236,26 @@ func (q *txnTaskQueue) Drain() {
 }
 
 func (q *txnTaskQueue) Close() {
+	q.initiateClose()
+	q.awaitExited()
+}
+
+func (q *txnTaskQueue) CloseCtx(ctx context.Context) error {
+	q.initiateClose()
+	return awaitCtx(ctx, q.awaitExited)
+}
+
+func (q *txnTaskQueue) initiateClose() {
 	q.e.MustAtomic(func(tx *stm.Tx) {
+		if stm.Read(tx, q.closed) {
+			return
+		}
 		stm.Write(tx, q.closed, true)
 		q.workAvail.NotifyAll(tx)
 	})
+}
+
+func (q *txnTaskQueue) awaitExited() {
 	for {
 		done := false
 		q.e.MustAtomic(func(tx *stm.Tx) {

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/facility"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/parsec"
 )
@@ -44,6 +45,10 @@ type SweepConfig struct {
 	// Tracer, when non-nil, records the event lifecycle of every trial
 	// (warm-ups included) into one shared ring buffer.
 	Tracer *obs.Tracer
+	// Fault, when non-nil and armed, injects deterministic faults into
+	// every trial's engine (chaos sweeps). Per-point draw/fire counts are
+	// snapshotted into each trial's metrics when CollectMetrics is on.
+	Fault *fault.Injector
 }
 
 func (c SweepConfig) withDefaults() SweepConfig {
@@ -119,6 +124,7 @@ func runCell(cfg SweepConfig, b parsec.Benchmark, sys facility.Kind, threads int
 		Scale:   cfg.Scale,
 		Seed:    cfg.Seed,
 		Tracer:  cfg.Tracer,
+		Fault:   cfg.Fault,
 	}
 	for i := 0; i < cfg.Warmup; i++ {
 		b.Run(rc)
@@ -156,6 +162,9 @@ func runCell(cfg SweepConfig, b parsec.Benchmark, sys facility.Kind, threads int
 			if rc.CVStats != nil {
 				tm.CV = rc.CVStats.Snapshot()
 				tm.CVHist = rc.CVStats.Histograms()
+			}
+			if cfg.Fault != nil {
+				tm.Fault = cfg.Fault.Snapshot()
 			}
 			cell.Trials = append(cell.Trials, tm)
 		}

@@ -33,6 +33,11 @@ type TrialMetrics struct {
 	// semaphore park times (sem_park_ns).
 	CV     map[string]int64                 `json:"cv,omitempty"`
 	CVHist map[string]obs.HistogramSnapshot `json:"cv_hist,omitempty"`
+
+	// Fault holds the chaos injector's cumulative per-point draw/fire
+	// counts ("<point>.drawn" / "<point>.fired"); nil outside chaos
+	// sweeps.
+	Fault map[string]uint64 `json:"fault,omitempty"`
 }
 
 // metricsCell is the JSON shape of one sweep cell.

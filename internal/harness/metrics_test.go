@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/facility"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/parsec"
 )
@@ -119,5 +120,51 @@ func TestWriteMetricsJSONWithoutCollection(t *testing.T) {
 	}
 	if !json.Valid(buf.Bytes()) {
 		t.Fatal("invalid JSON")
+	}
+}
+
+// TestChaosSweepFaultMetrics: an armed injector threaded through
+// SweepConfig reaches the benchmark engines (hooks fire), the workload
+// still produces its deterministic checksum, and the per-trial metrics
+// carry the injector's per-point counts.
+func TestChaosSweepFaultMetrics(t *testing.T) {
+	b, err := parsec.ByName("fluidanimate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := fault.New(0xC4A05).Set(fault.PreCommit, fault.Rule{Rate: 0.2, Action: fault.ActAbort})
+	in.Arm()
+	defer in.Disarm()
+	sw := Run(SweepConfig{
+		Benchmarks:     []parsec.Benchmark{b},
+		Systems:        []facility.Kind{facility.LockTM, facility.Txn},
+		Machine:        parsec.Westmere,
+		MaxThreads:     2,
+		Trials:         1,
+		Scale:          0.25,
+		CollectMetrics: true,
+		Fault:          in,
+	})
+	if in.Fired(fault.PreCommit) == 0 {
+		t.Fatal("injector never reached the benchmark engines")
+	}
+	for i := range sw.Cells {
+		c := &sw.Cells[i]
+		for _, tm := range c.Trials {
+			if tm.Fault == nil {
+				t.Fatalf("cell %s/%s: trial missing fault snapshot", c.Benchmark, c.System)
+			}
+			if tm.Fault["tx.precommit.drawn"] == 0 {
+				t.Fatalf("cell %s/%s: no precommit draws recorded: %v", c.Benchmark, c.System, tm.Fault)
+			}
+		}
+	}
+	// Injected aborts must not perturb workload results: the checksum
+	// matches across systems exactly as in a clean sweep.
+	base := sw.Cells[0].Checksum
+	for _, c := range sw.Cells[1:] {
+		if c.Benchmark == sw.Cells[0].Benchmark && c.Threads == sw.Cells[0].Threads && c.Checksum != base {
+			t.Fatalf("chaos broke determinism: %s %s checksum %x != %x", c.Benchmark, c.System, c.Checksum, base)
+		}
 	}
 }

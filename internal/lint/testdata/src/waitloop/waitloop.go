@@ -3,6 +3,8 @@
 package waitloop
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/stm"
 	"repro/internal/syncx"
@@ -31,6 +33,19 @@ func badNestedLit(cv *core.CondVar, m *syncx.Mutex, run func(func())) {
 			cv.WaitLocked(m) // want "outside a for loop"
 		})
 	}
+}
+
+// The abortable waits are oblivious too: a true return proves some
+// notification arrived, not that the caller's predicate holds.
+func badLockedCtx(cv *core.CondVar, m *syncx.Mutex, ctx context.Context) {
+	m.Lock()
+	cv.WaitLockedCtx(m, ctx) // want "outside a for loop"
+	m.Unlock()
+}
+
+func badCtxCPS(cv *core.CondVar, s syncx.Sync, ctx context.Context) bool {
+	ok := cv.WaitCtx(s, ctx, nil) // want "outside a for loop"
+	return ok
 }
 
 func goodLocked(cv *core.CondVar, m *syncx.Mutex, ready func() bool) {
@@ -79,6 +94,19 @@ func (g *gate) Wait() {
 	g.m.Lock()
 	g.cv.WaitLocked(&g.m)
 	g.m.Unlock()
+}
+
+// Compliant abortable wait: the loop re-checks the predicate and exits
+// when the context is cancelled (a false return).
+func goodLockedCtx(cv *core.CondVar, m *syncx.Mutex, ctx context.Context, ready func() bool) bool {
+	m.Lock()
+	defer m.Unlock()
+	for !ready() {
+		if !cv.WaitLockedCtx(m, ctx) {
+			return false
+		}
+	}
+	return true
 }
 
 // Annotated deliberate one-shot wait: suppressed.

@@ -45,6 +45,7 @@ var waitMethodNames = map[string]bool{
 	"WaitCtx":           true,
 	"WaitTagged":        true,
 	"WaitLocked":        true,
+	"WaitLockedCtx":     true,
 	"WaitLockedTimeout": true,
 	"WaitAtCommit":      true,
 	"WaitTimeout":       true,

@@ -30,6 +30,9 @@ const (
 
 	EvSemPark   // goroutine about to deschedule in sem.Wait
 	EvSemUnpark // goroutine resumed; span event covering the park, A = lane
+
+	EvFaultInject // fault injector fired at a hook point; A = point, B = action
+	EvHealth      // engine health transition; A = new state, B = old state
 )
 
 // String returns the exporter-facing event name.
@@ -59,6 +62,10 @@ func (t EventType) String() string {
 		return "sem.park"
 	case EvSemUnpark:
 		return "sem.unpark"
+	case EvFaultInject:
+		return "fault.inject"
+	case EvHealth:
+		return "stm.health"
 	default:
 		return "unknown"
 	}
@@ -71,6 +78,10 @@ func (t EventType) Category() string {
 		return "stm"
 	case t >= EvCVEnqueue && t <= EvCVWake:
 		return "cv"
+	case t == EvFaultInject:
+		return "fault"
+	case t == EvHealth:
+		return "stm"
 	default:
 		return "sem"
 	}

@@ -86,7 +86,7 @@ func TestEventNamesAndCategories(t *testing.T) {
 	all := []EventType{
 		EvTxnStart, EvTxnCommit, EvTxnAbort, EvTxnEarlyCommit, EvTxnSerial,
 		EvHandlerRun, EvCVEnqueue, EvCVNotify, EvCVSemPost, EvCVWake,
-		EvSemPark, EvSemUnpark,
+		EvSemPark, EvSemUnpark, EvFaultInject, EvHealth,
 	}
 	seen := map[string]bool{}
 	for _, ty := range all {
@@ -96,7 +96,7 @@ func TestEventNamesAndCategories(t *testing.T) {
 		}
 		seen[name] = true
 		switch ty.Category() {
-		case "stm", "cv", "sem":
+		case "stm", "cv", "sem", "fault":
 		default:
 			t.Errorf("event %s: bad category %q", name, ty.Category())
 		}

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/facility"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/stm"
 )
@@ -76,6 +77,10 @@ type Config struct {
 	// CVStats, when non-nil, aggregates condvar activity and wait-latency
 	// histograms across all the run's TM condvars.
 	CVStats *core.CVStats
+	// Fault, when non-nil, is attached to the run's engine so chaos
+	// sweeps can inject deterministic faults into the benchmark's
+	// transactions and condvars (no-op on the pthread system).
+	Fault *fault.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +114,7 @@ func (c Config) toolkit() *facility.Toolkit {
 			Name:      fmt.Sprintf("%s/%s", c.Machine, c.System.Short()),
 		})
 		tk.Engine.SetTracer(c.Tracer)
+		tk.Engine.SetFault(c.Fault)
 	}
 	return tk
 }

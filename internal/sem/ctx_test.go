@@ -1,0 +1,213 @@
+package sem
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+func TestWaitCtxImmediatePermit(t *testing.T) {
+	s := New(1)
+	st := &Stats{}
+	s.SetStats(st)
+	if !s.WaitCtx(context.Background()) {
+		t.Fatal("WaitCtx with a banked permit returned false")
+	}
+	if st.FastWaits.Load() != 1 || st.Blocks.Load() != 0 {
+		t.Fatalf("expected fast path: fast=%d blocks=%d", st.FastWaits.Load(), st.Blocks.Load())
+	}
+}
+
+// TestWaitCtxAlreadyCancelled: a cancelled context still takes an
+// available permit (TryWait semantics) but never parks without one.
+func TestWaitCtxAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	s := New(1)
+	if !s.WaitCtx(ctx) {
+		t.Fatal("available permit refused under cancelled ctx")
+	}
+	st := &Stats{}
+	s.SetStats(st)
+	done := make(chan bool, 1)
+	go func() { done <- s.WaitCtx(ctx) }()
+	select {
+	case got := <-done:
+		if got {
+			t.Fatal("WaitCtx acquired a permit that does not exist")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitCtx parked despite cancelled ctx")
+	}
+	if st.Cancels.Load() != 1 {
+		t.Fatalf("cancels = %d, want 1", st.Cancels.Load())
+	}
+	if s.Waiters() != 0 {
+		t.Fatalf("waiters = %d after cancelled WaitCtx", s.Waiters())
+	}
+}
+
+func TestWaitCtxCancelWhileParked(t *testing.T) {
+	s := NewBinary()
+	st := &Stats{}
+	s.SetStats(st)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan bool, 1)
+	go func() { done <- s.WaitCtx(ctx) }()
+	waitUntil(t, func() bool { return s.Waiters() == 1 })
+	cancel()
+	select {
+	case got := <-done:
+		if got {
+			t.Fatal("cancelled WaitCtx reported a permit")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled WaitCtx never returned")
+	}
+	if s.Waiters() != 0 || s.Value() != 0 {
+		t.Fatalf("leak after cancel: waiters=%d value=%d", s.Waiters(), s.Value())
+	}
+	// The semaphore is fully reusable: a post now banks a permit that the
+	// next wait consumes.
+	s.Post()
+	if !s.WaitCtx(context.Background()) {
+		t.Fatal("post-cancel permit lost")
+	}
+}
+
+func TestWaitCtxNotificationBeatsCancel(t *testing.T) {
+	s := NewBinary()
+	done := make(chan bool, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { done <- s.WaitCtx(ctx) }()
+	waitUntil(t, func() bool { return s.Waiters() == 1 })
+	// Post first, then cancel: the hand-off already committed the permit
+	// to the waiter's channel, so the wait must report true.
+	s.Post()
+	cancel()
+	if got := <-done; !got {
+		t.Fatal("notification lost to a later cancel")
+	}
+	if s.Value() != 0 {
+		t.Fatalf("permit double-banked: value=%d", s.Value())
+	}
+}
+
+// TestWaitCtxPostCancelRace hammers the race window: no permit may ever
+// be lost (posted but consumed by nobody) and none invented.
+func TestWaitCtxPostCancelRace(t *testing.T) {
+	for i := 0; i < 500; i++ {
+		s := NewBinary()
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan bool, 1)
+		go func() { done <- s.WaitCtx(ctx) }()
+		waitUntil(t, func() bool { return s.Waiters() == 1 })
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); s.Post() }()
+		go func() { defer wg.Done(); cancel() }()
+		wg.Wait()
+		got := <-done
+		// Exactly one permit was posted. Either the waiter took it (true,
+		// nothing banked) or the cancel won and the permit stayed banked.
+		banked := s.Value()
+		if got && banked != 0 {
+			t.Fatalf("iter %d: waiter consumed the permit yet %d remain banked", i, banked)
+		}
+		if !got && banked != 1 {
+			t.Fatalf("iter %d: cancelled waiter left %d banked permits, want 1", i, banked)
+		}
+		if s.Waiters() != 0 {
+			t.Fatalf("iter %d: %d waiters leaked", i, s.Waiters())
+		}
+	}
+}
+
+// TestWaitTimeoutNonPositive pins the satellite contract: non-positive
+// durations act as TryWait and never park.
+func TestWaitTimeoutNonPositive(t *testing.T) {
+	for _, d := range []time.Duration{0, -time.Second} {
+		s := New(1)
+		st := &Stats{}
+		s.SetStats(st)
+		if !s.WaitTimeout(d) {
+			t.Fatalf("d=%v: banked permit refused", d)
+		}
+		if st.Blocks.Load() != 0 {
+			t.Fatalf("d=%v: parked despite available permit", d)
+		}
+		start := time.Now()
+		if s.WaitTimeout(d) {
+			t.Fatalf("d=%v: acquired a permit that does not exist", d)
+		}
+		if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+			t.Fatalf("d=%v: WaitTimeout blocked for %v; must not park", d, elapsed)
+		}
+		if st.Blocks.Load() != 0 {
+			t.Fatalf("d=%v: non-positive timeout parked", d)
+		}
+		if st.Timeouts.Load() != 1 {
+			t.Fatalf("d=%v: timeouts = %d, want 1", d, st.Timeouts.Load())
+		}
+	}
+}
+
+// TestParkHistogramNoNegative: parkEnd clamps hostile (clock-stepped)
+// durations so the histogram sum cannot go negative.
+func TestParkHistogramNoNegative(t *testing.T) {
+	s := NewBinary()
+	st := &Stats{}
+	s.SetStats(st)
+	// A t0 from the future models a stepping wall clock mid-park.
+	s.parkEnd(time.Now().Add(time.Hour))
+	snap := st.ParkNanos.Snapshot()
+	if snap.Sum < 0 {
+		t.Fatalf("park histogram sum went negative: %d", snap.Sum)
+	}
+	if snap.Count != 1 {
+		t.Fatalf("clamped observation dropped: count=%d", snap.Count)
+	}
+}
+
+// TestSemFaultHooks: the post/park hooks stall but never change
+// semaphore outcomes; abort-shaped decisions at sem points are no-ops.
+func TestSemFaultHooks(t *testing.T) {
+	s := NewBinary()
+	in := fault.New(21).
+		Set(fault.SemPost, fault.Rule{Rate: 1, Action: fault.ActDelay, Delay: 200 * time.Microsecond}).
+		Set(fault.SemPark, fault.Rule{Rate: 1, Action: fault.ActAbort}) // degrades to no-op
+	s.SetFault(in)
+	in.Arm()
+
+	done := make(chan struct{})
+	go func() {
+		s.Wait()
+		close(done)
+	}()
+	waitUntil(t, func() bool { return s.Waiters() == 1 })
+	start := time.Now()
+	s.Post()
+	<-done
+	if time.Since(start) < 100*time.Microsecond {
+		t.Fatal("SemPost delay hook did not stall")
+	}
+	if in.Fired(fault.SemPost) == 0 || in.Fired(fault.SemPark) == 0 {
+		t.Fatalf("hooks did not fire: post=%d park=%d",
+			in.Fired(fault.SemPost), in.Fired(fault.SemPark))
+	}
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}

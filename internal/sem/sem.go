@@ -24,9 +24,11 @@
 package sem
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/stats"
 )
@@ -39,6 +41,7 @@ type Stats struct {
 	FastWaits stats.Counter // Waits satisfied without blocking
 	Blocks    stats.Counter // Waits that had to deschedule the caller
 	Timeouts  stats.Counter // WaitTimeout expirations
+	Cancels   stats.Counter // WaitCtx cancellations
 
 	// ParkNanos distributes the park duration of Waits that had to
 	// deschedule the caller (fast-path Waits are not observed).
@@ -74,6 +77,10 @@ type Sem struct {
 	// semaphore). Set via SetTrace; nil-safe when unset.
 	tr   *obs.Tracer
 	lane uint64
+
+	// Optional fault injector (internal/fault). Set via SetFault;
+	// nil-safe when unset, one atomic load when disarmed.
+	flt *fault.Injector
 }
 
 // New returns a semaphore holding n initial permits. n must be >= 0.
@@ -98,6 +105,24 @@ func (s *Sem) SetStats(st *Stats) { s.st = st }
 // synchronized with concurrent operations; call before sharing.
 func (s *Sem) SetTrace(tr *obs.Tracer, lane uint64) { s.tr, s.lane = tr, lane }
 
+// SetFault attaches a fault injector; pass nil to detach. Like SetStats
+// it is not synchronized with concurrent operations; call before
+// sharing.
+func (s *Sem) SetFault(in *fault.Injector) { s.flt = in }
+
+// faultAt draws and applies the injector's decision for hook point p.
+// Only delays are meaningful at semaphore points — there is no
+// transaction attempt to abort here — so abort-shaped decisions
+// degrade to instant no-ops (still traced as injected).
+func (s *Sem) faultAt(p fault.Point) {
+	d := s.flt.At(p)
+	if d.Action == fault.ActNone {
+		return
+	}
+	s.tr.Emit(s.lane, obs.EvFaultInject, int64(p), int64(d.Action))
+	d.Pause()
+}
+
 // parkStart stamps the beginning of a descheduled Wait, emitting the park
 // event if tracing. It returns the zero time when neither stats nor
 // tracing need the timestamp, which parkEnd treats as "don't observe".
@@ -120,6 +145,11 @@ func (s *Sem) parkEnd(t0 time.Time) {
 		return
 	}
 	d := time.Since(t0).Nanoseconds()
+	if d < 0 {
+		// A stepping wall clock (or a hostile t0) must not feed a
+		// negative duration into the histogram sum or the span event.
+		d = 0
+	}
 	if s.st != nil {
 		s.st.ParkNanos.Observe(d)
 	}
@@ -135,6 +165,9 @@ func (s *Sem) parkEnd(t0 time.Time) {
 // Post never blocks and is safe to call from commit handlers, which is how
 // the condition variable defers wake-ups to transaction commit.
 func (s *Sem) Post() {
+	// Fault hook: delay the (possibly commit-deferred) SEMPOST, widening
+	// the notify→wake window.
+	s.faultAt(fault.SemPost)
 	s.mu.lock()
 	if w := s.head; w != nil {
 		s.head = w.next
@@ -179,6 +212,10 @@ func (s *Sem) Wait() {
 	if s.st != nil {
 		s.st.Blocks.Inc()
 	}
+	// Fault hook: stall between publishing ourselves as a waiter and
+	// descheduling — a Post landing in this window must be memorized in
+	// the handoff channel, never lost.
+	s.faultAt(fault.SemPark)
 	t0 := s.parkStart()
 	<-w.ch
 	s.parkEnd(t0)
@@ -208,7 +245,19 @@ func (s *Sem) TryWait() bool {
 // permit was acquired. A timed-out waiter is unlinked from the queue; if a
 // Post races with the timeout and hands the permit over anyway, the permit
 // is kept and WaitTimeout returns true (no permit is ever lost).
+//
+// A non-positive d acts exactly as TryWait — the caller is never parked
+// — except that a failed acquire still counts as a timeout in Stats.
 func (s *Sem) WaitTimeout(d time.Duration) bool {
+	if d <= 0 {
+		if s.TryWait() {
+			return true
+		}
+		if s.st != nil {
+			s.st.Timeouts.Inc()
+		}
+		return false
+	}
 	s.mu.lock()
 	if s.count > 0 {
 		s.count--
@@ -225,6 +274,7 @@ func (s *Sem) WaitTimeout(d time.Duration) bool {
 	if s.st != nil {
 		s.st.Blocks.Inc()
 	}
+	s.faultAt(fault.SemPark)
 	t0 := s.parkStart()
 
 	t := time.NewTimer(d)
@@ -253,6 +303,72 @@ func (s *Sem) WaitTimeout(d time.Duration) bool {
 	s.mu.unlock()
 	// We were already dequeued by a Post: the permit is (or will be) in
 	// the channel. Take it.
+	<-w.ch
+	s.parkEnd(t0)
+	if s.st != nil {
+		s.st.Waits.Inc()
+	}
+	return true
+}
+
+// WaitCtx acquires a permit, giving up when ctx is cancelled. It reports
+// whether a permit was acquired. The race discipline matches
+// WaitTimeout's: the notification wins — if a Post dequeues the waiter
+// before the cancellation takes effect, the permit is consumed and
+// WaitCtx returns true, so no permit is ever lost to a cancelled
+// waiter. An already-cancelled ctx still acquires an immediately
+// available permit (TryWait semantics) but never parks.
+func (s *Sem) WaitCtx(ctx context.Context) bool {
+	s.mu.lock()
+	if s.count > 0 {
+		s.count--
+		s.mu.unlock()
+		if s.st != nil {
+			s.st.Waits.Inc()
+			s.st.FastWaits.Inc()
+		}
+		return true
+	}
+	if ctx.Err() != nil {
+		s.mu.unlock()
+		if s.st != nil {
+			s.st.Cancels.Inc()
+		}
+		return false
+	}
+	w := &waiter{ch: make(chan struct{}, 1)}
+	s.enqueueLocked(w)
+	s.mu.unlock()
+	if s.st != nil {
+		s.st.Blocks.Inc()
+	}
+	s.faultAt(fault.SemPark)
+	t0 := s.parkStart()
+
+	select {
+	case <-w.ch:
+		s.parkEnd(t0)
+		if s.st != nil {
+			s.st.Waits.Inc()
+		}
+		return true
+	case <-ctx.Done():
+	}
+
+	// Cancelled: remove ourselves. A concurrent Post may have already
+	// dequeued us and committed a permit to w.ch; check under the lock.
+	s.mu.lock()
+	if s.unlinkLocked(w) {
+		s.mu.unlock()
+		s.parkEnd(t0)
+		if s.st != nil {
+			s.st.Cancels.Inc()
+		}
+		return false
+	}
+	s.mu.unlock()
+	// We lost the race to a Post: the permit is (or will be) in the
+	// channel. Take it — the notification wins over the cancellation.
 	<-w.ch
 	s.parkEnd(t0)
 	if s.st != nil {

@@ -1,0 +1,81 @@
+package stm
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffEnvelope pins the retry-backoff contract: the pre-jitter
+// bound grows monotonically with the attempt number, never exceeds
+// BackoffMax while healthy, and the jittered sleep always lands in
+// [bound/2, bound].
+func TestBackoffEnvelope(t *testing.T) {
+	e := NewEngine(Config{
+		BackoffBase: 500 * time.Nanosecond,
+		BackoffMax:  100 * time.Microsecond,
+	})
+
+	prev := time.Duration(0)
+	for attempt := 0; attempt < 40; attempt++ {
+		d := e.backoffDelay(attempt)
+		if d < prev {
+			t.Fatalf("attempt %d: bound %v shrank from %v", attempt, d, prev)
+		}
+		if d > e.cfg.BackoffMax {
+			t.Fatalf("attempt %d: bound %v exceeds BackoffMax %v", attempt, d, e.cfg.BackoffMax)
+		}
+		prev = d
+	}
+	if got := e.backoffDelay(39); got != e.cfg.BackoffMax {
+		t.Fatalf("deep-retry bound = %v, want cap %v", got, e.cfg.BackoffMax)
+	}
+	if got := e.backoffDelay(0); got != e.cfg.BackoffBase {
+		t.Fatalf("first bound = %v, want BackoffBase %v", got, e.cfg.BackoffBase)
+	}
+
+	// Jitter: backoff sleeps half + (rand % (half+1)), which must stay
+	// within [bound/2, bound] for every draw.
+	for attempt := 2; attempt < 20; attempt++ {
+		d := e.backoffDelay(attempt)
+		half := d / 2
+		for i := 0; i < 200; i++ {
+			s := half + time.Duration(e.nextRand()%uint64(half+1))
+			if s < half || s > d {
+				t.Fatalf("attempt %d: jittered sleep %v outside [%v, %v]", attempt, s, half, d)
+			}
+		}
+	}
+}
+
+// TestBackoffWidensUnderDegradation: the watchdog's health level shifts
+// the whole envelope wider (4x per level).
+func TestBackoffWidensUnderDegradation(t *testing.T) {
+	e := NewEngine(Config{
+		BackoffBase: time.Microsecond,
+		BackoffMax:  100 * time.Microsecond,
+	})
+	healthy := e.backoffDelay(12)
+	e.wd.state.Store(int32(HealthDegraded))
+	if got := e.backoffDelay(12); got != healthy<<2 {
+		t.Fatalf("degraded bound = %v, want %v", got, healthy<<2)
+	}
+	e.wd.state.Store(int32(HealthSerial))
+	if got := e.backoffDelay(12); got != healthy<<4 {
+		t.Fatalf("serial bound = %v, want %v", got, healthy<<4)
+	}
+}
+
+// TestBackoffEarlyAttemptsYield: the first two retries of a healthy
+// engine must not sleep a measurable interval (they yield).
+func TestBackoffEarlyAttemptsYield(t *testing.T) {
+	e := NewEngine(Config{
+		BackoffBase: 10 * time.Millisecond, // would be visible if slept
+		BackoffMax:  20 * time.Millisecond,
+	})
+	start := time.Now()
+	e.backoff(0)
+	e.backoff(1)
+	if elapsed := time.Since(start); elapsed > 5*time.Millisecond {
+		t.Fatalf("early backoff slept %v; expected a bare yield", elapsed)
+	}
+}

@@ -1,10 +1,12 @@
 package stm
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/stats"
 )
@@ -64,9 +66,23 @@ type Config struct {
 	HTMCapacity int
 
 	// BackoffBase and BackoffMax bound the randomized exponential
-	// backoff between attempts. Defaults 500ns and 100µs.
+	// backoff between attempts. Defaults 500ns and 100µs. The abort-storm
+	// watchdog (watchdog.go) widens this envelope while degraded.
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+
+	// StormWindow is the number of attempt outcomes per abort-storm
+	// watchdog window. Default 256. StormHigh and StormLow are the
+	// hysteresis thresholds on the windowed abort rate: a window at or
+	// above StormHigh is hot (degrade; default 0.85), at or below
+	// StormLow is cool (recover one level; default 0.35), in between
+	// holds the current state. StormLatch is the number of consecutive
+	// hot windows after which a degraded engine latches
+	// serial-preference mode. Default 3.
+	StormWindow int
+	StormHigh   float64
+	StormLow    float64
+	StormLatch  int
 
 	// Name labels the engine in stats dumps.
 	Name string
@@ -98,6 +114,18 @@ func (c Config) withDefaults() Config {
 	if c.BackoffMax <= 0 {
 		c.BackoffMax = 100 * time.Microsecond
 	}
+	if c.StormWindow <= 0 {
+		c.StormWindow = 256
+	}
+	if c.StormHigh <= 0 || c.StormHigh > 1 {
+		c.StormHigh = 0.85
+	}
+	if c.StormLow <= 0 || c.StormLow >= c.StormHigh {
+		c.StormLow = 0.35
+	}
+	if c.StormLatch <= 0 {
+		c.StormLatch = 3
+	}
 	if c.Name == "" {
 		c.Name = c.Algorithm.String()
 	}
@@ -124,6 +152,14 @@ type TMStats struct {
 	RetryWaits     stats.Counter // Retry callers that actually slept
 	RetryWakes     stats.Counter // sleeping retriers woken by commits
 	MaxAttempts    stats.Max     // worst retry count observed
+
+	// Abort-storm watchdog state (watchdog.go). Health is the current
+	// degradation state as a gauge (0 healthy, 1 degraded, 2 serial);
+	// HealthTransitions counts state changes; StormWindows counts
+	// watchdog windows that ran hot.
+	Health            stats.Gauge
+	HealthTransitions stats.Counter
+	StormWindows      stats.Counter
 
 	// Latency histograms (log2-bucketed, always on — a handful of atomic
 	// adds per observation). Counters say how many aborts happened; these
@@ -157,6 +193,9 @@ func (s *TMStats) Snapshot() map[string]int64 {
 		"retry_waits":     s.RetryWaits.Load(),
 		"retry_wakes":     s.RetryWakes.Load(),
 		"max_attempts":    s.MaxAttempts.Load(),
+		"health":          s.Health.Load(),
+		"health_changes":  s.HealthTransitions.Load(),
+		"storm_windows":   s.StormWindows.Load(),
 	}
 }
 
@@ -207,6 +246,13 @@ type Engine struct {
 	// tracer is the attached event tracer (see trace.go); nil when
 	// detached. Set during setup via SetTracer.
 	tracer *obs.Tracer
+
+	// fault is the attached fault injector (see fault.go); nil when
+	// detached. Set during setup via SetFault.
+	fault *fault.Injector
+
+	// wd is the abort-storm watchdog (see watchdog.go).
+	wd watchdog
 
 	Stats TMStats
 }
@@ -302,7 +348,10 @@ func (e *Engine) AtomicRead(fn func(*Tx)) error {
 
 func (e *Engine) atomicImpl(fn func(*Tx), readOnly bool) error {
 	for attempt := 0; ; attempt++ {
-		if attempt >= e.cfg.MaxRetries {
+		// effectiveMaxRetries shrinks while the abort-storm watchdog has
+		// serial-preference latched; re-read each iteration so a storm
+		// detected mid-loop takes effect on this very transaction.
+		if attempt >= e.effectiveMaxRetries() {
 			e.Stats.SerialFallback.Inc()
 			e.Stats.MaxAttempts.Observe(int64(attempt))
 			return e.runSerial(fn, attempt)
@@ -384,6 +433,10 @@ func (e *Engine) attemptOnce(fn func(*Tx), attempt int, readOnly bool) (done, fa
 		}
 		e.recycle(tx)
 	}()
+
+	// Fault hook: attempt begin. Runs under the recover above, so an
+	// injected abort unwinds exactly like an organic one.
+	tx.faultPanic(tx.faultAt(fault.TxBegin))
 
 	fn(tx)
 
@@ -524,20 +577,30 @@ func (e *Engine) clockBumpNeeded() bool { return true }
 
 // backoff sleeps a randomized, exponentially growing interval. The first
 // couple of retries just yield, which is usually enough on small
-// transactions.
+// transactions — unless the watchdog has degraded the engine, in which
+// case every retry pays the (widened) delay to shed contention.
 func (e *Engine) backoff(attempt int) {
-	if attempt < 2 {
+	if attempt < 2 && e.Health() == HealthHealthy {
 		// Cheap yield; most conflicts clear immediately.
-		time.Sleep(0)
+		runtime.Gosched()
 		return
 	}
+	d := e.backoffDelay(attempt)
+	half := d / 2
+	j := time.Duration(e.nextRand() % uint64(half+1))
+	time.Sleep(half + j)
+}
+
+// backoffDelay is the pre-jitter delay bound for a retry: exponential in
+// the attempt number from BackoffBase, capped at BackoffMax, then
+// shifted wider by the watchdog's current degradation level. backoff
+// sleeps a uniformly jittered duration in [bound/2, bound].
+func (e *Engine) backoffDelay(attempt int) time.Duration {
 	d := e.cfg.BackoffBase << uint(min(attempt, 12))
 	if d > e.cfg.BackoffMax {
 		d = e.cfg.BackoffMax
 	}
-	half := d / 2
-	j := time.Duration(e.nextRand() % uint64(half+1))
-	time.Sleep(half + j)
+	return d << e.backoffShift()
 }
 
 // nextRand is a lock-free xorshift64 shared by backoff jitter.

@@ -1,0 +1,58 @@
+package stm
+
+import (
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// This file is the STM side of deterministic fault injection
+// (internal/fault). Hook points cover the three places an optimistic
+// attempt can be killed or stalled — attempt begin, orec acquisition,
+// and pre-commit — so tests and chaos soaks can provoke conflict
+// storms, simulated HTM capacity overflows, and adversarially timed
+// windows on demand. Serial (irrevocable) transactions are never
+// injected: the fallback's unconditional forward progress is exactly
+// what the abort-storm watchdog (watchdog.go) leans on, and injecting
+// it would turn a provoked storm into a livelock.
+
+// SetFault attaches a fault injector to the engine (nil detaches). Like
+// SetTracer it is intended for setup: attach before the engine is
+// shared. A nil or disarmed injector costs one nil check plus one
+// atomic load per hook.
+func (e *Engine) SetFault(in *fault.Injector) { e.fault = in }
+
+// Fault returns the attached injector, or nil (nil is safe to use).
+func (e *Engine) Fault() *fault.Injector { return e.fault }
+
+// faultAt draws the injector's decision for hook point p on behalf of
+// this attempt. Delay decisions stall right here, widening whatever
+// window the hook sits in; abort-shaped decisions are returned for the
+// caller to translate into its own abort path (see faultPanic).
+func (tx *Tx) faultAt(p fault.Point) fault.Decision {
+	in := tx.e.fault
+	if in == nil || tx.mode == modeSerial {
+		return fault.Decision{}
+	}
+	d := in.At(p)
+	if d.Action == fault.ActNone {
+		return d
+	}
+	// Direct emission: injection is meta-observability — the record that
+	// a fault was injected must survive the abort it causes.
+	tx.e.tracer.Emit(tx.id, obs.EvFaultInject, int64(p), int64(d.Action))
+	d.Pause()
+	return d
+}
+
+// faultPanic turns an abort-shaped decision into the attempt's
+// non-local exit (recovered by Engine.attemptOnce, which rolls the
+// attempt back exactly as for an organic conflict or capacity abort).
+// None/delay decisions are no-ops.
+func (tx *Tx) faultPanic(d fault.Decision) {
+	switch d.Action {
+	case fault.ActAbort:
+		panic(abortSignal{cause: causeConflict})
+	case fault.ActCapacity:
+		panic(abortSignal{cause: causeCapacity})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -317,6 +318,8 @@ func (tx *Tx) bufferWrite(b *varBase, boxed any) {
 func (tx *Tx) writeThrough(b *varBase, boxed any) {
 	o := b.o
 	if !tx.ownsOrec(o) {
+		// Fault hook: encounter-time orec acquisition.
+		tx.faultPanic(tx.faultAt(fault.OrecAcquire))
 		w := o.load()
 		if isLocked(w) {
 			tx.abortConflict() // no waiting: deadlock-free by construction
@@ -368,6 +371,12 @@ func (tx *Tx) validateReads() bool {
 // they run right after this returns). On failure the transaction has been
 // fully rolled back and unlocked, and tryCommit reports false.
 func (tx *Tx) tryCommit() bool {
+	if tx.mode != modeSerial {
+		// Fault hook: pre-commit, before any validation or lock
+		// acquisition (an injected abort here needs only the ordinary
+		// rollback path).
+		tx.faultPanic(tx.faultAt(fault.PreCommit))
+	}
 	if tx.readOnly && tx.mode != modeSerial {
 		// Read-only fast path: no orecs to acquire, no clock bump —
 		// validating the read set is the entire commit.
@@ -404,6 +413,10 @@ func (tx *Tx) tryCommit() bool {
 			if tx.ownsOrec(o) {
 				continue
 			}
+			// Fault hook: commit-time orec acquisition. A panic here
+			// unwinds to attemptOnce's recover, whose rollback releases
+			// the orecs acquired so far to their pre-lock versions.
+			tx.faultPanic(tx.faultAt(fault.OrecAcquire))
 			w := o.load()
 			if isLocked(w) || !o.cas(w, lockWord(tx.id)) {
 				tx.releaseOwnedToPrev()

@@ -1,0 +1,149 @@
+package stm
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// This file is the abort-storm watchdog: graceful degradation for the
+// regime "On the Cost of Concurrency in Transactional Memory"
+// (PAPERS.md) treats as first-class — sustained abort storms. The
+// engine tracks a windowed abort rate over optimistic attempts; when a
+// window runs hot it degrades (wider backoff envelope), and when hot
+// windows persist it latches a temporary serial-preference mode (few
+// optimistic attempts, then the irrevocable fallback, whose forward
+// progress is unconditional). Cool windows step the state back down one
+// level at a time, with hysteresis between the hot and cool thresholds
+// so the state does not flap at the boundary.
+
+// Health is the engine's degradation state.
+type Health int32
+
+const (
+	// HealthHealthy: normal optimistic execution.
+	HealthHealthy Health = iota
+	// HealthDegraded: a recent window ran hot; the backoff envelope is
+	// widened to shed contention.
+	HealthDegraded
+	// HealthSerial: the storm persisted; the engine prefers the serial
+	// fallback after very few optimistic attempts, trading concurrency
+	// for guaranteed progress.
+	HealthSerial
+)
+
+// String names the health state for stats dumps and logs.
+func (h Health) String() string {
+	switch h {
+	case HealthHealthy:
+		return "healthy"
+	case HealthDegraded:
+		return "degraded"
+	case HealthSerial:
+		return "serial"
+	default:
+		return "unknown"
+	}
+}
+
+// serialPrefRetries is the optimistic-attempt budget while the engine is
+// in HealthSerial: enough to catch a storm that has already cleared,
+// few enough that progress comes from the fallback, not from spinning.
+const serialPrefRetries = 2
+
+// watchdog is the windowed abort-rate tracker embedded in Engine.
+type watchdog struct {
+	// window packs the current window's counts: attempts in the low 32
+	// bits, aborts in the high 32. One CAS per noted outcome; the
+	// goroutine that fills the window rolls it.
+	window atomic.Uint64
+	// hotRuns counts consecutive hot windows (reset by a cool window).
+	hotRuns atomic.Int32
+	// state is the current Health.
+	state atomic.Int32
+}
+
+// Health returns the engine's current degradation state.
+func (e *Engine) Health() Health { return Health(e.wd.state.Load()) }
+
+// healthNote records one optimistic-attempt outcome in the current
+// window and rolls the window when it fills. Windows advance only with
+// activity: an idle engine keeps its last state until traffic returns
+// to prove the storm over. Only contention-shaped outcomes are noted —
+// conflict and capacity aborts, and commits (including serial ones,
+// whose successes are what pull a latched engine back down).
+func (e *Engine) healthNote(aborted bool) {
+	size := uint64(e.cfg.StormWindow)
+	for {
+		old := e.wd.window.Load()
+		att := uint64(uint32(old)) + 1
+		ab := old >> 32
+		if aborted {
+			ab++
+		}
+		if att >= size {
+			if e.wd.window.CompareAndSwap(old, 0) {
+				e.healthRoll(float64(ab) / float64(att))
+				return
+			}
+			continue
+		}
+		if e.wd.window.CompareAndSwap(old, ab<<32|att) {
+			return
+		}
+	}
+}
+
+// healthRoll applies one completed window's abort rate to the health
+// state machine.
+func (e *Engine) healthRoll(rate float64) {
+	st := Health(e.wd.state.Load())
+	next := st
+	switch {
+	case rate >= e.cfg.StormHigh:
+		e.Stats.StormWindows.Inc()
+		hot := e.wd.hotRuns.Add(1)
+		if st == HealthHealthy {
+			next = HealthDegraded
+		} else if st == HealthDegraded && int(hot) >= e.cfg.StormLatch {
+			next = HealthSerial
+		}
+	case rate <= e.cfg.StormLow:
+		e.wd.hotRuns.Store(0)
+		if st > HealthHealthy {
+			next = st - 1
+		}
+	default:
+		// Hysteresis band: hold the current state. A latched engine
+		// whose rate sits here (serial commits diluting injected
+		// conflicts) stays latched until the storm truly clears.
+	}
+	if next != st {
+		e.setHealth(next, st)
+	}
+}
+
+// setHealth publishes a state transition: the TMStats gauge, the
+// transition counter, and a trace event carrying new and old states.
+func (e *Engine) setHealth(next, old Health) {
+	if !e.wd.state.CompareAndSwap(int32(old), int32(next)) {
+		return // lost a race with a concurrent transition
+	}
+	e.Stats.Health.Set(int64(next))
+	e.Stats.HealthTransitions.Inc()
+	e.tracer.Emit(0, obs.EvHealth, int64(next), int64(old))
+}
+
+// backoffShift widens the backoff envelope under degradation: each
+// health level quadruples the delay bound.
+func (e *Engine) backoffShift() uint { return uint(2 * e.wd.state.Load()) }
+
+// effectiveMaxRetries is the optimistic-attempt budget for the current
+// health state: the configured budget normally, serialPrefRetries while
+// serial-preference is latched.
+func (e *Engine) effectiveMaxRetries() int {
+	if Health(e.wd.state.Load()) == HealthSerial && e.cfg.MaxRetries > serialPrefRetries {
+		return serialPrefRetries
+	}
+	return e.cfg.MaxRetries
+}

@@ -1,0 +1,261 @@
+package stm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// TestAbortStormWatchdog is the acceptance test for graceful
+// degradation: under injected 100% pre-commit conflict the engine
+// transitions Healthy → Degraded → Serial (serial-preference latched),
+// keeps making forward progress through the irrevocable fallback, and
+// steps back down to Healthy after injection stops — all visible in
+// TMStats and the exported trace.
+func TestAbortStormWatchdog(t *testing.T) {
+	e := NewEngine(Config{
+		Algorithm:   AlgWriteThrough,
+		StormWindow: 32,
+		BackoffBase: time.Nanosecond, // keep the widened envelope fast in tests
+		BackoffMax:  time.Microsecond,
+	})
+	tr := obs.NewTracer(1 << 12)
+	tr.Enable()
+	e.SetTracer(tr)
+
+	in := fault.New(0xABADCAFE).Set(fault.PreCommit, fault.Rule{Rate: 1.0, Action: fault.ActAbort})
+	e.SetFault(in)
+
+	v := NewVar(e, 0)
+
+	if e.Health() != HealthHealthy {
+		t.Fatalf("initial health = %v", e.Health())
+	}
+
+	// Storm phase: every optimistic commit attempt is killed, so each
+	// transaction burns its optimistic budget and lands in the serial
+	// fallback — which must never be injected, or this would livelock.
+	in.Arm()
+	const stormTxns = 120
+	for i := 0; i < stormTxns; i++ {
+		e.MustAtomic(func(tx *Tx) {
+			Write(tx, v, Read(tx, v)+1)
+		})
+	}
+	if got := readVar(t, e, v); got != stormTxns {
+		t.Fatalf("forward progress lost under storm: counter = %d, want %d", got, stormTxns)
+	}
+	if h := e.Health(); h != HealthSerial {
+		t.Fatalf("health after storm = %v, want %v", h, HealthSerial)
+	}
+	if e.Stats.Health.Load() != int64(HealthSerial) {
+		t.Fatalf("TMStats health gauge = %d, want %d", e.Stats.Health.Load(), HealthSerial)
+	}
+	if e.Stats.StormWindows.Load() == 0 {
+		t.Fatal("no hot windows counted during the storm")
+	}
+	if in.Fired(fault.PreCommit) == 0 {
+		t.Fatal("injector never fired")
+	}
+
+	// Recovery phase: injection stops; cool windows must step the state
+	// back down one level at a time until healthy.
+	in.Disarm()
+	const coolTxns = 200
+	for i := 0; i < coolTxns; i++ {
+		e.MustAtomic(func(tx *Tx) {
+			Write(tx, v, Read(tx, v)+1)
+		})
+	}
+	if h := e.Health(); h != HealthHealthy {
+		t.Fatalf("health after recovery = %v, want %v", h, HealthHealthy)
+	}
+	if got := readVar(t, e, v); got != stormTxns+coolTxns {
+		t.Fatalf("counter = %d, want %d", got, stormTxns+coolTxns)
+	}
+
+	// The full round trip is at least Healthy→Degraded→Serial→Degraded→
+	// Healthy: four transitions.
+	if n := e.Stats.HealthTransitions.Load(); n < 4 {
+		t.Fatalf("health transitions = %d, want >= 4", n)
+	}
+	snap := e.Stats.Snapshot()
+	if snap["health"] != 0 || snap["storm_windows"] == 0 || snap["health_changes"] < 4 {
+		t.Fatalf("snapshot missing watchdog fields: %v", snap)
+	}
+
+	// Trace: both the injections and the health transitions must be on
+	// the exported record.
+	var injects, healths int
+	var sawSerial, sawRecovery bool
+	for _, ev := range tr.Events() {
+		switch ev.Type {
+		case obs.EvFaultInject:
+			injects++
+			if ev.A != int64(fault.PreCommit) {
+				t.Fatalf("fault.inject at unexpected point %d", ev.A)
+			}
+		case obs.EvHealth:
+			healths++
+			if ev.A == int64(HealthSerial) {
+				sawSerial = true
+			}
+			if ev.A == int64(HealthHealthy) && ev.B == int64(HealthDegraded) {
+				sawRecovery = true
+			}
+		}
+	}
+	if injects == 0 || healths < 4 || !sawSerial || !sawRecovery {
+		t.Fatalf("trace incomplete: injects=%d healths=%d sawSerial=%v sawRecovery=%v",
+			injects, healths, sawSerial, sawRecovery)
+	}
+}
+
+func readVar(t *testing.T, e *Engine, v *Var[int]) int {
+	t.Helper()
+	var got int
+	if err := e.AtomicRead(func(tx *Tx) { got = Read(tx, v) }); err != nil {
+		t.Fatalf("AtomicRead: %v", err)
+	}
+	return got
+}
+
+// TestSerialPreferenceShrinksAttempts: once serial-preference is
+// latched, transactions stop burning the full optimistic budget.
+func TestSerialPreferenceShrinksAttempts(t *testing.T) {
+	e := NewEngine(Config{
+		StormWindow: 16,
+		StormLatch:  1,
+		BackoffBase: time.Nanosecond,
+		BackoffMax:  time.Microsecond,
+	})
+	in := fault.New(7).Set(fault.TxBegin, fault.Rule{Rate: 1.0, Action: fault.ActAbort})
+	e.SetFault(in)
+	in.Arm()
+
+	v := NewVar(e, 0)
+	// Drive into Serial (window 16, latch 1: two hot windows suffice).
+	for i := 0; i < 10; i++ {
+		e.MustAtomic(func(tx *Tx) { Write(tx, v, Read(tx, v)+1) })
+	}
+	if e.Health() != HealthSerial {
+		t.Fatalf("health = %v, want %v", e.Health(), HealthSerial)
+	}
+	if got := e.effectiveMaxRetries(); got != serialPrefRetries {
+		t.Fatalf("effectiveMaxRetries = %d, want %d", got, serialPrefRetries)
+	}
+
+	// While latched, a transaction spends at most serialPrefRetries
+	// optimistic attempts before the fallback.
+	before := e.Stats.Aborts.Load()
+	e.MustAtomic(func(tx *Tx) { Write(tx, v, Read(tx, v)+1) })
+	if burned := e.Stats.Aborts.Load() - before; burned > serialPrefRetries {
+		t.Fatalf("latched transaction burned %d optimistic attempts, want <= %d",
+			burned, serialPrefRetries)
+	}
+}
+
+// TestFaultHooksByAlgorithm exercises each injected abort path: TxBegin
+// capacity aborts, encounter-time (write-through) and commit-time
+// (write-back) orec-acquire conflicts. Every engine must keep forward
+// progress via the (never-injected) serial fallback.
+func TestFaultHooksByAlgorithm(t *testing.T) {
+	cases := []struct {
+		name  string
+		alg   Algorithm
+		point fault.Point
+		act   fault.Action
+		check func(t *testing.T, s *TMStats)
+	}{
+		{"txbegin-capacity", AlgHTM, fault.TxBegin, fault.ActCapacity,
+			func(t *testing.T, s *TMStats) {
+				if s.CapacityAborts.Load() == 0 {
+					t.Error("no capacity aborts recorded")
+				}
+			}},
+		{"orec-writethrough", AlgWriteThrough, fault.OrecAcquire, fault.ActAbort,
+			func(t *testing.T, s *TMStats) {
+				if s.ConflictAborts.Load() == 0 {
+					t.Error("no conflict aborts recorded")
+				}
+			}},
+		{"orec-writeback", AlgWriteBack, fault.OrecAcquire, fault.ActAbort,
+			func(t *testing.T, s *TMStats) {
+				if s.ConflictAborts.Load() == 0 {
+					t.Error("no conflict aborts recorded")
+				}
+			}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewEngine(Config{
+				Algorithm:   tc.alg,
+				BackoffBase: time.Nanosecond,
+				BackoffMax:  time.Microsecond,
+			})
+			in := fault.New(1).Set(tc.point, fault.Rule{Rate: 1.0, Action: tc.act})
+			e.SetFault(in)
+			in.Arm()
+			v := NewVar(e, 0)
+			const txns = 20
+			for i := 0; i < txns; i++ {
+				e.MustAtomic(func(tx *Tx) { Write(tx, v, Read(tx, v)+1) })
+			}
+			in.Disarm()
+			if got := readVar(t, e, v); got != txns {
+				t.Fatalf("counter = %d, want %d", got, txns)
+			}
+			if in.Fired(tc.point) == 0 {
+				t.Fatal("hook never fired")
+			}
+			tc.check(t, &e.Stats)
+		})
+	}
+}
+
+// TestFaultDelayHook: a Delay decision stalls the hook point but
+// changes no outcome.
+func TestFaultDelayHook(t *testing.T) {
+	e := NewEngine(Config{})
+	in := fault.New(3).Set(fault.PreCommit, fault.Rule{Rate: 1.0, Action: fault.ActDelay, Delay: 100 * time.Microsecond})
+	e.SetFault(in)
+	in.Arm()
+	v := NewVar(e, 0)
+	start := time.Now()
+	e.MustAtomic(func(tx *Tx) { Write(tx, v, 42) })
+	if elapsed := time.Since(start); elapsed < 50*time.Microsecond {
+		t.Fatalf("delay hook did not stall: %v", elapsed)
+	}
+	if e.Stats.Aborts.Load() != 0 {
+		t.Fatalf("delay decision caused %d aborts", e.Stats.Aborts.Load())
+	}
+	if got := readVar(t, e, v); got != 42 {
+		t.Fatalf("value = %d, want 42", got)
+	}
+}
+
+// TestSerialNeverInjected: an irrevocable (relaxed) transaction must
+// not consume or fire injector decisions.
+func TestSerialNeverInjected(t *testing.T) {
+	e := NewEngine(Config{})
+	in := fault.New(9).SetAll(fault.Rule{Rate: 1.0, Action: fault.ActAbort})
+	e.SetFault(in)
+	in.Arm()
+	v := NewVar(e, 0)
+	if err := e.AtomicRelaxed(func(tx *Tx) { Write(tx, v, 7) }); err != nil {
+		t.Fatalf("AtomicRelaxed: %v", err)
+	}
+	in.Disarm()
+	var drawn uint64
+	for p := fault.Point(0); p < fault.NumPoints; p++ {
+		drawn += in.Drawn(p)
+	}
+	if drawn != 0 {
+		t.Fatalf("serial transaction drew %d fault decisions", drawn)
+	}
+	if got := readVar(t, e, v); got != 7 {
+		t.Fatalf("value = %d, want 7", got)
+	}
+}

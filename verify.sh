@@ -39,4 +39,8 @@ step "modelcheck (bounded exhaustive interleavings)"
 go run ./cmd/modelcheck -waiters 2 -notifyone 1
 go run ./cmd/modelcheck -waiters 2 -notifyall 1
 
+step "chaos soak (deterministic fault injection, fixed seed)"
+go test -race ./internal/fault
+go run ./cmd/cvstress -mode chaos -seed 3405691582 -faultrate 0.25 -duration 2s
+
 step "ok"
