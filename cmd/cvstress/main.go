@@ -45,6 +45,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/facility"
 	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/obs/introspect"
+	"repro/internal/obs/registry"
 	"repro/internal/pthreadcv"
 	"repro/internal/stm"
 	"repro/internal/syncx"
@@ -58,7 +61,19 @@ func main() {
 	seed := flag.Uint64("seed", 0xC4A05, "chaos mode: fault injector seed")
 	faultrate := flag.Float64("faultrate", 0.2, "chaos mode: per-hook-point injection probability")
 	duration := flag.Duration("duration", 2*time.Second, "chaos mode: soak time per system")
+	introspectAddr := flag.String("introspect", "", "serve /debug/cv/* live-introspection endpoints on this address (e.g. 127.0.0.1:0)")
+	dumpDir := flag.String("dumpdir", "", "chaos mode: flight-recorder dump directory (default: system temp)")
 	flag.Parse()
+
+	if *introspectAddr != "" {
+		srv, err := introspect.Start(introspect.Options{Addr: *introspectAddr, DumpDir: *dumpDir})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cvstress:", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "cvstress: introspect: listening on %s\n", srv.Addr())
+	}
 
 	var failed bool
 	switch *mode {
@@ -71,7 +86,7 @@ func main() {
 	case "timed":
 		failed = !runTimed(*iters)
 	case "chaos":
-		failed = !runChaos(*goroutines, *seed, *faultrate, *duration)
+		failed = !runChaos(*goroutines, *seed, *faultrate, *duration, *dumpDir)
 	default:
 		fmt.Fprintf(os.Stderr, "cvstress: unknown mode %q\n", *mode)
 		os.Exit(2)
@@ -300,27 +315,53 @@ func chaosRules(seed uint64, rate float64) *fault.Injector {
 // duplicated, checked by count, sum and sum-of-squares) with concurrent timed-wait and
 // context-cancellation race probes, all on the same engine the injector
 // is attacking.
-func runChaos(goroutines int, seed uint64, rate float64, dur time.Duration) bool {
+func runChaos(goroutines int, seed uint64, rate float64, dur time.Duration, dumpDir string) bool {
+	// Chaos always runs fully instrumented: every engine, condvar and
+	// fault point registers into the process registry (scraped live when
+	// -introspect is up), a tracer records the event lifecycle, and a
+	// flight recorder stands by so a failure leaves a forensic dump next
+	// to the replay line.
+	reg := registry.Default
+	if reg.Tracer() == nil {
+		tr := obs.NewTracer(1 << 16)
+		tr.Enable()
+		reg.SetTracer(tr)
+	}
+	rec := introspect.NewRecorder(dumpDir, reg, 4096)
 	ok := true
 	for _, kind := range []facility.Kind{facility.LockTM, facility.Txn} {
-		if !runChaosKind(kind, goroutines, seed, rate, dur) {
+		if !runChaosKind(kind, goroutines, seed, rate, dur, reg, rec) {
 			ok = false
 		}
 	}
 	if !ok {
 		fmt.Printf("replay: go run ./cmd/cvstress -mode chaos -seed %d -faultrate %g -duration %s -goroutines %d\n",
 			seed, rate, dur, goroutines)
+		if path, err := rec.Trigger("chaos-failure", map[string]any{
+			"seed": seed, "faultrate": rate, "goroutines": goroutines,
+		}); err == nil && path != "" {
+			fmt.Printf("flight dump: %s\n", path)
+		} else if err != nil {
+			fmt.Fprintln(os.Stderr, "cvstress: flight dump failed:", err)
+		}
 	}
 	return ok
 }
 
-func runChaosKind(kind facility.Kind, goroutines int, seed uint64, rate float64, dur time.Duration) bool {
-	e := stm.NewEngine(stm.Config{})
+func runChaosKind(kind facility.Kind, goroutines int, seed uint64, rate float64, dur time.Duration, reg *registry.Registry, rec *introspect.Recorder) bool {
+	e := stm.NewEngine(stm.Config{Name: "chaos/" + kind.Short()})
 	in := chaosRules(seed, rate)
 	e.SetFault(in)
 	in.Arm()
 	defer in.Disarm()
-	tk := &facility.Toolkit{Kind: kind, Engine: e}
+	e.SetTracer(reg.Tracer())
+	e.RegisterMetrics(reg)
+	in.RegisterMetrics(reg, registry.Labels{"engine": e.Name()})
+	introspect.ArmHealthDump(e, rec)
+	cvStats := &core.CVStats{}
+	cvStats.RegisterMetrics(reg, registry.Labels{"engine": e.Name()})
+	tk := &facility.Toolkit{Kind: kind, Engine: e, CVStats: cvStats,
+		Introspect: reg, IntrospectPrefix: e.Name()}
 
 	deadline := time.Now().Add(dur)
 
@@ -369,6 +410,8 @@ func runChaosKind(kind facility.Kind, goroutines int, seed uint64, rate float64,
 	// Race probes on the same injected engine: the timed-wait race and
 	// the cancellation race, each holding the lost/spurious invariant.
 	cv := core.New(e, tk.CVOpts)
+	cv.SetStats(cvStats)
+	cv.RegisterIntrospect(reg, e.Name()+"/probe")
 	var m syncx.Mutex
 	var races, lost, spurious int
 	var cancels, cancelRaces int

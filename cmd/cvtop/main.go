@@ -1,0 +1,348 @@
+// Command cvtop is a terminal viewer for the live-introspection
+// endpoints (DESIGN.md §10): point it at a process started with
+// -introspect and it polls /debug/cv/vars and /debug/cv/waiters,
+// rendering engine health, commit/abort rates, and the busiest
+// condition variables with their deepest waiters.
+//
+// Usage:
+//
+//	cvtop -addr 127.0.0.1:6070 [flags]
+//
+//	-addr host:port   introspection endpoint to poll (required)
+//	-interval d       poll/refresh period (default 1s)
+//	-n N              show the top N condvars (default 10)
+//	-once             render a single frame and exit (no screen clear)
+//	-check            probe all /debug/cv/* endpoints, validate their
+//	                  formats (Prometheus exposition, JSON shapes) and
+//	                  exit; used by verify.sh as the smoke gate
+//
+// Rates are deltas between consecutive polls, so the first frame shows
+// totals only.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs/registry"
+)
+
+func main() {
+	addr := flag.String("addr", "", "introspection endpoint (host:port) to poll")
+	interval := flag.Duration("interval", time.Second, "poll/refresh period")
+	topN := flag.Int("n", 10, "show the top N condvars")
+	once := flag.Bool("once", false, "render a single frame and exit")
+	check := flag.Bool("check", false, "validate all endpoints and exit")
+	flag.Parse()
+
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "cvtop: -addr is required")
+		os.Exit(2)
+	}
+	base := "http://" + *addr
+
+	if *check {
+		if err := runCheck(base); err != nil {
+			fmt.Fprintln(os.Stderr, "cvtop: check failed:", err)
+			os.Exit(1)
+		}
+		fmt.Println("cvtop: all endpoints OK")
+		return
+	}
+
+	var prev *sample
+	for {
+		cur, err := poll(base)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cvtop:", err)
+			os.Exit(1)
+		}
+		var out strings.Builder
+		render(&out, cur, prev, *topN)
+		if *once {
+			io.Copy(os.Stdout, strings.NewReader(out.String())) //nolint:errcheck
+			return
+		}
+		fmt.Print("\x1b[H\x1b[2J" + out.String())
+		prev = cur
+		time.Sleep(*interval)
+	}
+}
+
+// runCheck probes every endpoint and validates its format.
+func runCheck(base string) error {
+	body, err := fetch(base + "/debug/cv/metrics")
+	if err != nil {
+		return err
+	}
+	if err := registry.ValidateExposition(body); err != nil {
+		return fmt.Errorf("/debug/cv/metrics: %w", err)
+	}
+	body, err = fetch(base + "/debug/cv/vars")
+	if err != nil {
+		return err
+	}
+	var vars map[string]any
+	if err := json.Unmarshal(body, &vars); err != nil {
+		return fmt.Errorf("/debug/cv/vars: %w", err)
+	}
+	if len(vars) == 0 {
+		return fmt.Errorf("/debug/cv/vars: no variables exported")
+	}
+	body, err = fetch(base + "/debug/cv/waiters")
+	if err != nil {
+		return err
+	}
+	var wd struct {
+		GeneratedAt time.Time         `json:"generated_at"`
+		Waiters     []registry.Waiter `json:"waiters"`
+	}
+	if err := json.Unmarshal(body, &wd); err != nil {
+		return fmt.Errorf("/debug/cv/waiters: %w", err)
+	}
+	if wd.GeneratedAt.IsZero() {
+		return fmt.Errorf("/debug/cv/waiters: missing generated_at")
+	}
+	// /debug/cv/trace legitimately 404s when no tracer is attached; any
+	// 200 must be valid JSON.
+	resp, err := http.Get(base + "/debug/cv/trace")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		if !json.Valid(raw) {
+			return fmt.Errorf("/debug/cv/trace: invalid JSON")
+		}
+	}
+	return nil
+}
+
+func fetch(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// sample is one poll of the endpoint.
+type sample struct {
+	at      time.Time
+	scalars map[string]float64 // full "name{labels}" key -> value
+	hists   map[string]histVar
+	waiters []registry.Waiter
+	sources []sourceSummary
+}
+
+type histVar struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Max   int64 `json:"max"`
+	P50   int64 `json:"p50"`
+	P99   int64 `json:"p99"`
+}
+
+type sourceSummary struct {
+	Source          string `json:"source"`
+	Depth           int    `json:"depth"`
+	OldestParkNS    int64  `json:"oldest_park_ns"`
+	OldestEnqueueNS int64  `json:"oldest_enqueue_ns"`
+}
+
+func poll(base string) (*sample, error) {
+	s := &sample{
+		at:      time.Now(),
+		scalars: map[string]float64{},
+		hists:   map[string]histVar{},
+	}
+	body, err := fetch(base + "/debug/cv/vars")
+	if err != nil {
+		return nil, err
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(body, &raw); err != nil {
+		return nil, fmt.Errorf("vars: %w", err)
+	}
+	for k, v := range raw {
+		var f float64
+		if err := json.Unmarshal(v, &f); err == nil {
+			s.scalars[k] = f
+			continue
+		}
+		var h histVar
+		if err := json.Unmarshal(v, &h); err == nil {
+			s.hists[k] = h
+		}
+	}
+	body, err = fetch(base + "/debug/cv/waiters")
+	if err != nil {
+		return nil, err
+	}
+	var wd struct {
+		Sources []sourceSummary   `json:"sources"`
+		Waiters []registry.Waiter `json:"waiters"`
+	}
+	if err := json.Unmarshal(body, &wd); err != nil {
+		return nil, fmt.Errorf("waiters: %w", err)
+	}
+	s.sources = wd.Sources
+	s.waiters = wd.Waiters
+	return s, nil
+}
+
+// splitKey separates "name{k="v",...}" into name and the label block.
+func splitKey(key string) (name, labels string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i], key[i:]
+	}
+	return key, ""
+}
+
+// labelValue extracts one label's value from a rendered label block.
+func labelValue(labels, key string) string {
+	marker := key + `="`
+	i := strings.Index(labels, marker)
+	if i < 0 {
+		return ""
+	}
+	rest := labels[i+len(marker):]
+	if j := strings.IndexByte(rest, '"'); j >= 0 {
+		return rest[:j]
+	}
+	return ""
+}
+
+// engineRow aggregates one engine's scalars for the header table.
+type engineRow struct {
+	name                     string
+	labels                   string
+	commits, aborts, serials float64
+	health                   float64
+}
+
+func healthName(v float64) string {
+	switch int(v) {
+	case 0:
+		return "healthy"
+	case 1:
+		return "degraded"
+	case 2:
+		return "serial"
+	default:
+		return "?"
+	}
+}
+
+func render(w *strings.Builder, cur, prev *sample, topN int) {
+	fmt.Fprintf(w, "cvtop  %s", cur.at.Format("15:04:05"))
+	if prev != nil {
+		fmt.Fprintf(w, "  (rates over %v)", cur.at.Sub(prev.at).Round(time.Millisecond))
+	}
+	fmt.Fprintln(w)
+
+	// Engines: group stm_* scalars by label block.
+	engines := map[string]*engineRow{}
+	for k, v := range cur.scalars {
+		name, labels := splitKey(k)
+		if !strings.HasPrefix(name, "stm_") {
+			continue
+		}
+		eng := labelValue(labels, "engine")
+		row := engines[labels]
+		if row == nil {
+			row = &engineRow{name: eng, labels: labels}
+			engines[labels] = row
+		}
+		switch name {
+		case "stm_commits_total":
+			row.commits = v
+		case "stm_aborts_total":
+			row.aborts = v
+		case "stm_serial_commits_total":
+			row.serials = v
+		case "stm_health":
+			row.health = v
+		}
+	}
+	var rows []*engineRow
+	for _, r := range engines {
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	if len(rows) > 0 {
+		fmt.Fprintf(w, "\n%-24s %-9s %12s %12s %10s\n", "ENGINE", "HEALTH", "COMMITS", "ABORTS", "SERIAL")
+		for _, r := range rows {
+			commits, aborts := r.commits, r.aborts
+			suffix := ""
+			if prev != nil {
+				dt := cur.at.Sub(prev.at).Seconds()
+				if dt > 0 {
+					commits = (r.commits - prev.scalars["stm_commits_total"+r.labels]) / dt
+					aborts = (r.aborts - prev.scalars["stm_aborts_total"+r.labels]) / dt
+					suffix = "/s"
+				}
+			}
+			fmt.Fprintf(w, "%-24s %-9s %11.0f%s %11.0f%s %10.0f\n",
+				r.name, healthName(r.health), commits, suffix, aborts, suffix, r.serials)
+		}
+	}
+
+	// Condvars: the waiters roll-up, deepest / most starved first.
+	srcs := append([]sourceSummary(nil), cur.sources...)
+	sort.Slice(srcs, func(i, j int) bool {
+		if srcs[i].Depth != srcs[j].Depth {
+			return srcs[i].Depth > srcs[j].Depth
+		}
+		return srcs[i].OldestParkNS > srcs[j].OldestParkNS
+	})
+	if len(srcs) > topN {
+		srcs = srcs[:topN]
+	}
+	fmt.Fprintf(w, "\n%-32s %7s %16s %16s\n", "CONDVAR", "DEPTH", "OLDEST PARK", "OLDEST ENQUEUE")
+	if len(srcs) == 0 {
+		fmt.Fprintln(w, "(no waiters)")
+	}
+	for _, s := range srcs {
+		park := "-"
+		if s.OldestParkNS >= 0 {
+			park = time.Duration(s.OldestParkNS).Round(time.Microsecond).String()
+		}
+		fmt.Fprintf(w, "%-32s %7d %16s %16s\n", s.Source, s.Depth, park,
+			time.Duration(s.OldestEnqueueNS).Round(time.Microsecond))
+	}
+
+	// Park-latency summary per labeled cv_sem_park_ns histogram.
+	var hkeys []string
+	for k := range cur.hists {
+		if name, _ := splitKey(k); name == "cv_sem_park_ns" {
+			hkeys = append(hkeys, k)
+		}
+	}
+	sort.Strings(hkeys)
+	if len(hkeys) > 0 {
+		fmt.Fprintf(w, "\n%-24s %10s %12s %12s %12s\n", "PARK LATENCY", "COUNT", "P50", "P99", "MAX")
+		for _, k := range hkeys {
+			h := cur.hists[k]
+			_, labels := splitKey(k)
+			fmt.Fprintf(w, "%-24s %10d %12s %12s %12s\n",
+				labelValue(labels, "engine"), h.Count,
+				time.Duration(h.P50), time.Duration(h.P99), time.Duration(h.Max))
+		}
+	}
+}

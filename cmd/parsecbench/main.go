@@ -21,6 +21,7 @@
 //	-trace out.json             record a Chrome trace_event file of the run
 //	-tracebuf N                 trace ring-buffer capacity in events
 //	-resultdir dir              per-run JSON results directory ("" disables)
+//	-introspect addr            serve /debug/cv/* live endpoints while running
 //
 // Examples:
 //
@@ -40,6 +41,8 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/obs/introspect"
+	"repro/internal/obs/registry"
 	"repro/internal/parsec"
 )
 
@@ -58,6 +61,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of the run's event lifecycle")
 	traceBuf := flag.Int("tracebuf", 1<<20, "trace ring-buffer capacity in events")
 	resultDir := flag.String("resultdir", "results", "directory for per-run JSON result files (\"\" disables)")
+	introspectAddr := flag.String("introspect", "", "serve /debug/cv/* live-introspection endpoints on this address (e.g. 127.0.0.1:6070)")
 	quiet := flag.Bool("quiet", false, "suppress live progress")
 	flag.Parse()
 
@@ -120,6 +124,25 @@ func main() {
 	if *tracePath != "" {
 		cfg.Tracer = obs.NewTracer(*traceBuf)
 		cfg.Tracer.Enable()
+	}
+	if *introspectAddr != "" {
+		// The scrape surface needs live sources: per-trial CVStats (so
+		// CollectMetrics goes on) and a tracer behind /debug/cv/trace
+		// (a private ring when -trace didn't ask for a file).
+		cfg.CollectMetrics = true
+		if cfg.Tracer == nil {
+			cfg.Tracer = obs.NewTracer(*traceBuf)
+			cfg.Tracer.Enable()
+		}
+		cfg.Registry = registry.Default
+		cfg.Registry.SetTracer(cfg.Tracer)
+		srv, err := introspect.Start(introspect.Options{Addr: *introspectAddr, Registry: cfg.Registry})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "parsecbench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "parsecbench: introspect: listening on %s\n", srv.Addr())
 	}
 
 	sw := harness.Run(cfg)

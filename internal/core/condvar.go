@@ -71,29 +71,25 @@ type CVStats struct {
 }
 
 // Snapshot returns the scalar counters at one instant, keyed by name.
+// Like TMStats.Snapshot it reads the instrument table (introspect.go)
+// that RegisterMetrics exports, so the two key sets cannot drift.
 func (s *CVStats) Snapshot() map[string]int64 {
-	return map[string]int64{
-		"waits":        s.Waits.Load(),
-		"notify_ones":  s.NotifyOnes.Load(),
-		"notify_alls":  s.NotifyAlls.Load(),
-		"notify_empty": s.NotifyEmpty.Load(),
-		"woken":        s.Woken.Load(),
-		"timeouts":     s.Timeouts.Load(),
-		"cancels":      s.Cancels.Load(),
-		"max_queue":    s.MaxQueue.Load(),
-		"sem_posts":    s.Sem.Posts.Load(),
-		"sem_blocks":   s.Sem.Blocks.Load(),
+	rows := s.scalars()
+	out := make(map[string]int64, len(rows))
+	for _, sc := range rows {
+		out[sc.name] = sc.read()
 	}
+	return out
 }
 
 // Histograms returns snapshots of the latency histograms, keyed by name.
 func (s *CVStats) Histograms() map[string]obs.HistogramSnapshot {
-	return map[string]obs.HistogramSnapshot{
-		"enqueue_to_notify_ns": s.EnqueueToNotify.Snapshot(),
-		"notify_to_wake_ns":    s.NotifyToWake.Snapshot(),
-		"queue_depth":          s.QueueDepth.Snapshot(),
-		"sem_park_ns":          s.Sem.ParkNanos.Snapshot(),
+	rows := s.histograms()
+	out := make(map[string]obs.HistogramSnapshot, len(rows))
+	for _, th := range rows {
+		out[th.name] = th.h.Snapshot()
 	}
+	return out
 }
 
 // Node is one entry of a CondVar's wait queue: the calling thread's
@@ -110,14 +106,15 @@ type Node struct {
 	// notify → sempost → wake chain renders on).
 	id uint64
 
-	// Observability timestamps. enqueuedAt is written by the owning
-	// waiter before the node is published into the queue (the enqueue
-	// transaction's commit orders it before any notifier's read);
-	// notifiedAt is written by the notifier's commit handler before the
-	// semaphore post (which orders it before the waiter's read on
-	// wake-up). Both are therefore race-free without further locking.
-	enqueuedAt time.Time
-	notifiedAt time.Time
+	// Observability timestamps, as atomic monotonic nanoseconds since
+	// the package epoch (zero = unset). The owner/notifier hand-off
+	// alone would make plain fields race-free (the enqueue commit orders
+	// the enqueue stamp before any notifier's read; the semaphore
+	// hand-off orders the notify stamp before the waiter's read), but
+	// the introspection scraper (WaitChain) reads them from arbitrary
+	// goroutines with no such ordering — hence atomics.
+	enqueuedNS atomic.Int64
+	notifiedNS atomic.Int64
 
 	// Sanitizer bookkeeping (checked only when the engine's debug checks
 	// are on; see sanitize* below). inQueue tracks whether the node is
@@ -246,8 +243,8 @@ func (cv *CondVar) enqueue(tx *stm.Tx, n *Node) {
 	if n.inQueue.Swap(true) && cv.sanitizeOn() {
 		panic("core: sanitizer: condvar node enqueued while still linked in the wait queue (double WAIT on one node, or a recycled node the queue still references)")
 	}
-	n.enqueuedAt = time.Now()
-	n.notifiedAt = time.Time{}
+	n.enqueuedNS.Store(monoNS())
+	n.notifiedNS.Store(0)
 	body := func(tx *stm.Tx) {
 		// Attempt-buffered: an aborted attempt's enqueue never shows in
 		// the trace; the committed depth gauge moves only at commit.
@@ -571,18 +568,18 @@ func (cv *CondVar) notifyCommitted(n *Node) {
 	// post — the window in which a timed-out or cancelled waiter races a
 	// wake-up it can no longer refuse.
 	cv.faultWindow(fault.CVNotify, n.id)
-	now := time.Now()
+	now := monoNS()
 	d := cv.depth.Load()
 	cv.depth.Dec()
 	if cv.st != nil {
-		if !n.enqueuedAt.IsZero() {
-			cv.st.EnqueueToNotify.Observe(now.Sub(n.enqueuedAt).Nanoseconds())
+		if enq := n.enqueuedNS.Load(); enq != 0 {
+			cv.st.EnqueueToNotify.Observe(now - enq)
 		}
 		cv.st.QueueDepth.Observe(d)
 	}
-	// Written before Post: the semaphore hand-off orders this store before
+	// Stored before Post: the semaphore hand-off orders this store before
 	// the woken waiter's read in noteWake.
-	n.notifiedAt = now
+	n.notifiedNS.Store(now)
 	if tr := cv.e.Tracer(); tr.Enabled() {
 		tr.Emit(n.id, obs.EvCVSemPost, int64(n.id), d)
 	}
@@ -596,8 +593,8 @@ func (cv *CondVar) notifyCommitted(n *Node) {
 func (cv *CondVar) noteWake(n *Node) {
 	if cv.st != nil {
 		cv.st.Waits.Inc()
-		if !n.notifiedAt.IsZero() {
-			cv.st.NotifyToWake.Observe(time.Since(n.notifiedAt).Nanoseconds())
+		if ns := n.notifiedNS.Load(); ns != 0 {
+			cv.st.NotifyToWake.Observe(monoNS() - ns)
 		}
 	}
 	if tr := cv.e.Tracer(); tr.Enabled() {

@@ -21,8 +21,11 @@ package facility
 
 import (
 	"context"
+	"fmt"
+	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs/registry"
 	"repro/internal/pthreadcv"
 	"repro/internal/stm"
 	"repro/internal/syncx"
@@ -98,6 +101,17 @@ type Toolkit struct {
 	// hands out, aggregating wait/notify activity and wait-latency
 	// histograms across all of a workload's condvars.
 	CVStats *core.CVStats
+
+	// Introspect, when non-nil, registers every TM condvar the toolkit
+	// hands out as a live source (queue-depth gauge + wait-chain dump)
+	// under "<IntrospectPrefix>/cv<seq>". Construction-order sequence
+	// numbers repeat across identically-shaped runs, so per-trial
+	// re-registration upserts the previous trial's sources instead of
+	// growing the registry without bound (DESIGN.md §10).
+	Introspect       *registry.Registry
+	IntrospectPrefix string
+
+	cvSeq atomic.Uint64
 }
 
 // NewCond returns a condition variable of the toolkit's flavour for
@@ -122,6 +136,11 @@ func (tk *Toolkit) NewCondVar() *core.CondVar {
 	cv := core.New(tk.Engine, tk.CVOpts)
 	if tk.CVStats != nil {
 		cv.SetStats(tk.CVStats)
+	}
+	if tk.Introspect != nil {
+		seq := tk.cvSeq.Add(1)
+		cv.RegisterIntrospect(tk.Introspect,
+			fmt.Sprintf("%s/cv%d", tk.IntrospectPrefix, seq))
 	}
 	return cv
 }

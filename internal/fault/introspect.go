@@ -1,0 +1,24 @@
+package fault
+
+import "repro/internal/obs/registry"
+
+// RegisterMetrics registers the per-point drawn/fired counters into r,
+// one labeled pair per hook point, merged with the caller's labels.
+// Like Snapshot it is pull-only: scrapes read the same atomics the
+// disarmed fast path already maintains. Safe on nil (either side).
+func (in *Injector) RegisterMetrics(r *registry.Registry, labels registry.Labels) {
+	if in == nil || r == nil {
+		return
+	}
+	for p := Point(0); p < NumPoints; p++ {
+		p := p
+		pl := registry.Labels{"point": p.String()}
+		for k, v := range labels {
+			pl[k] = v
+		}
+		r.RegisterCounter("fault_drawn_total", "fault decisions drawn at this hook point", pl,
+			func() int64 { return int64(in.Drawn(p)) })
+		r.RegisterCounter("fault_fired_total", "fault decisions that fired at this hook point", pl,
+			func() int64 { return int64(in.Fired(p)) })
+	}
+}

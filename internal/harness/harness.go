@@ -22,6 +22,7 @@ import (
 	"repro/internal/facility"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/obs/registry"
 	"repro/internal/parsec"
 )
 
@@ -49,6 +50,12 @@ type SweepConfig struct {
 	// every trial's engine (chaos sweeps). Per-point draw/fire counts are
 	// snapshotted into each trial's metrics when CollectMetrics is on.
 	Fault *fault.Injector
+	// Registry, when non-nil, receives every trial's live metric sources
+	// (engine, condvar stats, condvar wait chains, fault counters) for
+	// the /debug/cv/* introspection endpoints. Successive trials of the
+	// same cell re-register under the same names, so the registry tracks
+	// whichever trial is currently running.
+	Registry *registry.Registry
 }
 
 func (c SweepConfig) withDefaults() SweepConfig {
@@ -118,13 +125,14 @@ func Run(cfg SweepConfig) *Sweep {
 
 func runCell(cfg SweepConfig, b parsec.Benchmark, sys facility.Kind, threads int) Cell {
 	rc := parsec.Config{
-		Threads: threads,
-		System:  sys,
-		Machine: cfg.Machine,
-		Scale:   cfg.Scale,
-		Seed:    cfg.Seed,
-		Tracer:  cfg.Tracer,
-		Fault:   cfg.Fault,
+		Threads:  threads,
+		System:   sys,
+		Machine:  cfg.Machine,
+		Scale:    cfg.Scale,
+		Seed:     cfg.Seed,
+		Tracer:   cfg.Tracer,
+		Fault:    cfg.Fault,
+		Registry: cfg.Registry,
 	}
 	for i := 0; i < cfg.Warmup; i++ {
 		b.Run(rc)

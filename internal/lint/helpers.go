@@ -11,10 +11,11 @@ import (
 // testdata exercise the analyzers against the real repro packages while
 // keeping the checks meaningful if the module is ever renamed.
 const (
-	stmPathSuffix  = "internal/stm"
-	semPathSuffix  = "internal/sem"
-	corePathSuffix = "internal/core"
-	obsPathSuffix  = "internal/obs"
+	stmPathSuffix      = "internal/stm"
+	semPathSuffix      = "internal/sem"
+	corePathSuffix     = "internal/core"
+	obsPathSuffix      = "internal/obs"
+	registryPathSuffix = "internal/obs/registry"
 )
 
 func pathIs(pkg *types.Package, suffix string) bool {

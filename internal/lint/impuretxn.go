@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // AnalyzerImpureTxn flags observable side effects inside a transaction
@@ -19,7 +20,10 @@ import (
 //   - time.Sleep;
 //   - sem.Sem Post/PostN (and Wait, which can deadlock a retrying body);
 //   - obs.Tracer Emit/EmitEvent (trace events are observable effects; the
-//     attempt-buffered tx.Trace is the transactional emission API).
+//     attempt-buffered tx.Trace is the transactional emission API);
+//   - registry.Registry Register*/Unregister*/Set* (registry mutation
+//     repeats on every retry; register metric sources at construction
+//     time, outside transactions).
 //
 // False-positive policy: AtomicRelaxed bodies are exempt (relaxed
 // transactions are irrevocable and may perform I/O, Section 4.2); handler
@@ -112,6 +116,12 @@ func reportImpureCall(pass *Pass, info *types.Info, call *ast.CallExpr) {
 			case "Emit", "EmitEvent":
 				pass.Report(call.Pos(), "impuretxn",
 					"obs.Tracer.%s inside a transaction body records events of attempts that may abort; use tx.Trace, which buffers in the attempt and flushes on commit", name)
+			}
+		}
+		if pathIs(recv.Obj().Pkg(), registryPathSuffix) && recv.Obj().Name() == "Registry" {
+			if strings.HasPrefix(name, "Register") || strings.HasPrefix(name, "Unregister") || strings.HasPrefix(name, "Set") {
+				pass.Report(call.Pos(), "impuretxn",
+					"registry.Registry.%s inside a transaction body mutates the registry once per attempt, not once per commit; register sources at construction time or from a tx.OnCommit handler", name)
 			}
 		}
 	}

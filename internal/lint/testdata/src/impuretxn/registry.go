@@ -1,0 +1,31 @@
+// Fixture pinning the impuretxn rule for metric-registry mutation: a
+// Register/Unregister/Set call inside an optimistic body repeats on
+// every conflict retry (and survives aborted attempts), so sources must
+// be registered at construction time or from a commit handler.
+package impuretxn
+
+import (
+	"repro/internal/obs/registry"
+	"repro/internal/stm"
+)
+
+func badRegistry(e *stm.Engine, r *registry.Registry, read func() int64) {
+	e.MustAtomic(func(tx *stm.Tx) {
+		r.RegisterGauge("g", "", nil, read)   // want "registry.Registry.RegisterGauge"
+		r.RegisterCounter("c", "", nil, read) // want "registry.Registry.RegisterCounter"
+		r.Unregister("g", nil)                // want "registry.Registry.Unregister"
+		r.SetTracer(nil)                      // want "registry.Registry.SetTracer"
+		tx.OnCommit(func() {
+			r.RegisterGauge("g2", "", nil, read) // ok: handler runs post-commit
+		})
+	})
+	// Construction-time registration outside any transaction is the
+	// supported pattern.
+	r.RegisterGauge("ok", "", nil, read)
+}
+
+func relaxedRegistry(e *stm.Engine, r *registry.Registry, read func() int64) {
+	_ = e.AtomicRelaxed(func(tx *stm.Tx) {
+		r.RegisterGauge("g3", "", nil, read) // ok: relaxed bodies are irrevocable
+	})
+}

@@ -159,6 +159,32 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Quantile estimates the q-quantile from the snapshot's buckets, with
+// the same geometric-midpoint estimate (and the same ~2x error bound) as
+// Histogram.Quantile. Exported so consumers of serialized snapshots —
+// the registry's vars export, cvtop — can summarize without the live
+// histogram.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count-1))
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.N
+		if cum > rank {
+			if b.Lo <= 1 {
+				return 1
+			}
+			if b.Hi == math.MaxInt64 {
+				return s.Max
+			}
+			return int64(math.Sqrt(float64(b.Lo) * float64(b.Hi)))
+		}
+	}
+	return s.Max
+}
+
 // Merge adds other's buckets into s (for aggregating trials).
 func (s *HistogramSnapshot) Merge(other HistogramSnapshot) {
 	s.Count += other.Count

@@ -1,0 +1,91 @@
+package introspect
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs/registry"
+)
+
+// Watchdog is the starvation scanner: it polls the registry's wait-chain
+// sources and, when any waiter has been parked longer than the
+// threshold, triggers a "starvation" flight dump carrying the offending
+// waiters. It is entirely pull-based — condvars pay nothing for it.
+type Watchdog struct {
+	reg       *registry.Registry
+	rec       *Recorder
+	threshold time.Duration
+	interval  time.Duration
+	triggers  atomic.Int64
+	stop      chan struct{}
+	done      chan struct{}
+
+	// onStarve, when non-nil, observes each starvation detection after
+	// the dump attempt (test hook).
+	onStarve func(stuck []registry.Waiter, path string)
+}
+
+// StartWatchdog begins scanning reg every interval (<=0 defaults to
+// threshold/4, floored at 10ms) for waiters parked longer than
+// threshold. Its trigger counter self-registers into reg.
+func StartWatchdog(reg *registry.Registry, rec *Recorder, threshold, interval time.Duration) *Watchdog {
+	if interval <= 0 {
+		interval = threshold / 4
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	wd := &Watchdog{
+		reg:       reg,
+		rec:       rec,
+		threshold: threshold,
+		interval:  interval,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	reg.RegisterCounter("introspect_starvation_triggers_total",
+		"starvation-watchdog detections", nil, wd.triggers.Load)
+	go wd.run()
+	return wd
+}
+
+// Close stops the scanner and waits for it to exit.
+func (wd *Watchdog) Close() {
+	close(wd.stop)
+	<-wd.done
+}
+
+func (wd *Watchdog) run() {
+	defer close(wd.done)
+	t := time.NewTicker(wd.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-wd.stop:
+			return
+		case <-t.C:
+			wd.scan()
+		}
+	}
+}
+
+func (wd *Watchdog) scan() {
+	var stuck []registry.Waiter
+	for _, w := range wd.reg.Waiters() {
+		if w.ParkAgeNS > wd.threshold.Nanoseconds() {
+			stuck = append(stuck, w)
+		}
+	}
+	if len(stuck) == 0 {
+		return
+	}
+	wd.triggers.Add(1)
+	detail := map[string]any{
+		"threshold_ns": wd.threshold.Nanoseconds(),
+		"stuck":        stuck,
+	}
+	path, _ := wd.rec.Trigger("starvation", detail)
+	if wd.onStarve != nil {
+		wd.onStarve(stuck, path)
+	}
+}

@@ -1,0 +1,18 @@
+package obs
+
+import "sync/atomic"
+
+// parkLabels gates the goroutine pprof labeling the semaphore applies
+// around parks (sem.parkStart/parkEnd), so /debug/pprof/goroutine
+// profiles and the /debug/cv/waiters dump can attribute a parked
+// goroutine to its condvar lane. It follows the tracer's discipline:
+// off by default, and the disabled check is a single atomic load with
+// zero allocations (guarded by overhead_test.go). The introspection
+// server flips it on while serving and back off on Close.
+var parkLabels atomic.Bool
+
+// SetParkLabels enables or disables park-time goroutine labeling.
+func SetParkLabels(on bool) { parkLabels.Store(on) }
+
+// ParkLabelsEnabled reports whether park-time goroutine labeling is on.
+func ParkLabelsEnabled() bool { return parkLabels.Load() }

@@ -93,3 +93,20 @@ func BenchmarkHistogramTimer(b *testing.B) {
 		t.Stop()
 	}
 }
+
+// The park-label gate guards the runtime/pprof labeling added for live
+// introspection; when labels are off — the steady state — the semaphore
+// park path pays exactly one atomic load and zero allocations.
+// Referenced from internal/sem/introspect.go.
+func TestParkLabelGateNoAlloc(t *testing.T) {
+	SetParkLabels(false)
+	var sink bool
+	if a := testing.AllocsPerRun(1000, func() {
+		if ParkLabelsEnabled() {
+			sink = !sink
+		}
+	}); a != 0 {
+		t.Errorf("disabled park-label gate allocates %.1f times per op", a)
+	}
+	_ = sink
+}

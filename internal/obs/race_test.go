@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"bytes"
+	"encoding/json"
 	"sync"
 	"testing"
 )
@@ -84,4 +86,42 @@ func TestTracerConcurrentEmit(t *testing.T) {
 	if len(tr.Events()) == 0 {
 		t.Fatal("no events retained")
 	}
+}
+
+// WriteChromeTrace is the /debug/cv/trace handler's body: a scraper may
+// drain the ring while emitters are still appending. The drain must stay
+// race-free and always produce valid JSON, even over torn slots. Run
+// with -race.
+func TestChromeTraceConcurrentEmitAndDrain(t *testing.T) {
+	tr := NewTracer(1 << 10)
+	tr.Enable()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tr.Emit(uint64(w), EvCVEnqueue, int64(i), 0)
+				tr.Emit(uint64(w)+100, EvSemPark, int64(i), 1)
+			}
+		}()
+	}
+	for drains := 0; drains < 50; drains++ {
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf); err != nil {
+			t.Fatalf("drain %d: %v", drains, err)
+		}
+		if !json.Valid(buf.Bytes()) {
+			t.Fatalf("drain %d produced invalid JSON:\n%.300s", drains, buf.String())
+		}
+	}
+	close(stop)
+	wg.Wait()
 }

@@ -1,0 +1,96 @@
+package registry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// WriteProm writes every registered source in the Prometheus text
+// exposition format v0.0.4: per family a # HELP line, a # TYPE line and
+// the family's samples, consecutively. Scalars render as single samples;
+// obs histograms render as cumulative `le` buckets plus _sum and _count,
+// converting the log2 [Lo,Hi) buckets to their exclusive upper bounds.
+func (r *Registry) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	prevName := ""
+	for _, s := range r.scalarsSorted() {
+		if s.name != prevName {
+			writeHeader(bw, s.name, s.help, s.kind.String())
+			prevName = s.name
+		}
+		bw.WriteString(s.name)
+		bw.WriteString(s.labels)
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatInt(s.read(), 10))
+		bw.WriteByte('\n')
+	}
+	prevName = ""
+	for _, h := range r.histsSorted() {
+		if h.name != prevName {
+			writeHeader(bw, h.name, h.help, "histogram")
+			prevName = h.name
+		}
+		writeHistogram(bw, h.name, h.labels, h.read())
+	}
+	return bw.Flush()
+}
+
+func writeHeader(bw *bufio.Writer, name, help, typ string) {
+	if help != "" {
+		bw.WriteString("# HELP ")
+		bw.WriteString(name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(help))
+		bw.WriteByte('\n')
+	}
+	bw.WriteString("# TYPE ")
+	bw.WriteString(name)
+	bw.WriteByte(' ')
+	bw.WriteString(typ)
+	bw.WriteByte('\n')
+}
+
+func writeHistogram(bw *bufio.Writer, name, labels string, snap obs.HistogramSnapshot) {
+	var cum int64
+	for _, b := range snap.Buckets {
+		cum += b.N
+		if b.Hi == math.MaxInt64 {
+			continue // folded into the +Inf bucket below
+		}
+		bw.WriteString(name)
+		bw.WriteString("_bucket")
+		bw.WriteString(withExtraLabel(labels, "le", strconv.FormatInt(b.Hi-1, 10)))
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatInt(cum, 10))
+		bw.WriteByte('\n')
+	}
+	// A torn read (buckets incremented between the count load and the
+	// bucket loads) could leave cum and Count disagreeing; the +Inf
+	// bucket must still be the largest cumulative value and equal _count.
+	total := snap.Count
+	if cum > total {
+		total = cum
+	}
+	bw.WriteString(name)
+	bw.WriteString("_bucket")
+	bw.WriteString(withExtraLabel(labels, "le", "+Inf"))
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(total, 10))
+	bw.WriteByte('\n')
+	bw.WriteString(name)
+	bw.WriteString("_sum")
+	bw.WriteString(labels)
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(snap.Sum, 10))
+	bw.WriteByte('\n')
+	bw.WriteString(name)
+	bw.WriteString("_count")
+	bw.WriteString(labels)
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(total, 10))
+	bw.WriteByte('\n')
+}

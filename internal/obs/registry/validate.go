@@ -1,0 +1,237 @@
+package registry
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// This file is an in-process validator for the Prometheus text
+// exposition format v0.0.4 — the scrape-side contract /debug/cv/metrics
+// promises. It exists so the golden-file test and the verify.sh smoke
+// gate (via `cvtop -check`) can reject a malformed exposition without a
+// real Prometheus binary in the container. It checks the line grammar
+// (HELP/TYPE/sample), label syntax, family contiguity, TYPE-before-
+// sample ordering, and the histogram contract: a +Inf bucket, cumulative
+// non-decreasing bucket values, and _count equal to the +Inf bucket.
+
+var (
+	sampleRE = regexp.MustCompile(
+		`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(-?[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?|[+-]?Inf|NaN)(\s+-?[0-9]+)?$`)
+	labelRE = regexp.MustCompile(
+		`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\\\|\\"|\\n)*)"$`)
+)
+
+// histState accumulates one histogram family's per-labelset contract.
+type histState struct {
+	lastCum  map[string]float64 // labelset (le stripped) → last cumulative bucket
+	infSeen  map[string]float64
+	countVal map[string]float64
+}
+
+// ValidateExposition checks b against the text exposition format and the
+// histogram contract above, returning the first violation found.
+func ValidateExposition(b []byte) error {
+	types := make(map[string]string) // family → declared type
+	sampled := make(map[string]bool) // family → has emitted samples
+	hists := make(map[string]*histState)
+	lastFamily := ""
+	samples := 0
+
+	for i, line := range strings.Split(string(b), "\n") {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q (only # HELP and # TYPE are meaningful)", lineNo, line)
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: TYPE line missing type", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+				}
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				if sampled[name] {
+					return fmt.Errorf("line %d: TYPE for %q after its samples", lineNo, name)
+				}
+				types[name] = fields[3]
+			}
+			continue
+		}
+
+		m := sampleRE.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+		}
+		name, labelBlock, valueStr := m[1], m[2], m[3]
+		value, err := parseValue(valueStr)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		labels, err := parseLabels(labelBlock)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+
+		family := familyOf(name, types)
+		if sampled[family] && lastFamily != family {
+			return fmt.Errorf("line %d: family %q has non-consecutive samples", lineNo, family)
+		}
+		sampled[family] = true
+		lastFamily = family
+		samples++
+
+		switch types[family] {
+		case "counter":
+			if value < 0 {
+				return fmt.Errorf("line %d: counter %s is negative (%g)", lineNo, name, value)
+			}
+		case "histogram":
+			if err := checkHistSample(hists, family, name, labels, value); err != nil {
+				return fmt.Errorf("line %d: %v", lineNo, err)
+			}
+		}
+	}
+
+	for family, h := range hists {
+		for ls, inf := range h.infSeen {
+			if cnt, ok := h.countVal[ls]; !ok {
+				return fmt.Errorf("histogram %s%s: missing _count", family, ls)
+			} else if cnt != inf {
+				return fmt.Errorf("histogram %s%s: _count %g != +Inf bucket %g", family, ls, cnt, inf)
+			}
+		}
+		for ls := range h.lastCum {
+			if _, ok := h.infSeen[ls]; !ok {
+				return fmt.Errorf("histogram %s%s: missing le=\"+Inf\" bucket", family, ls)
+			}
+		}
+	}
+	if samples == 0 {
+		return fmt.Errorf("exposition contains no samples")
+	}
+	return nil
+}
+
+// familyOf maps a sample name to its declared family: histogram series
+// names carry _bucket/_sum/_count suffixes on the family name.
+func familyOf(name string, types map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && types[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf", "-Inf", "NaN":
+		return strconv.ParseFloat(s, 64)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", s)
+	}
+	return v, nil
+}
+
+// parseLabels validates a `{k="v",...}` block and returns it as a map
+// plus nothing else; the raw pair list order is not significant.
+func parseLabels(block string) (map[string]string, error) {
+	if block == "" {
+		return nil, nil
+	}
+	inner := block[1 : len(block)-1]
+	if inner == "" {
+		return nil, nil
+	}
+	out := make(map[string]string)
+	for _, pair := range splitLabelPairs(inner) {
+		m := labelRE.FindStringSubmatch(pair)
+		if m == nil {
+			return nil, fmt.Errorf("malformed label pair %q", pair)
+		}
+		if _, dup := out[m[1]]; dup {
+			return nil, fmt.Errorf("duplicate label %q", m[1])
+		}
+		out[m[1]] = m[2]
+	}
+	return out, nil
+}
+
+// splitLabelPairs splits on commas outside quoted values.
+func splitLabelPairs(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++ // skip escaped char
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+func checkHistSample(hists map[string]*histState, family, name string, labels map[string]string, value float64) error {
+	h := hists[family]
+	if h == nil {
+		h = &histState{
+			lastCum:  make(map[string]float64),
+			infSeen:  make(map[string]float64),
+			countVal: make(map[string]float64),
+		}
+		hists[family] = h
+	}
+	// The labelset identity with le stripped groups one histogram's
+	// series together.
+	le, hasLE := labels["le"]
+	rest := make(Labels, len(labels))
+	for k, v := range labels {
+		if k != "le" {
+			rest[k] = v
+		}
+	}
+	ls := renderLabels(rest)
+
+	switch {
+	case strings.HasSuffix(name, "_bucket"):
+		if !hasLE {
+			return fmt.Errorf("histogram bucket %s missing le label", name)
+		}
+		if value < h.lastCum[ls] {
+			return fmt.Errorf("histogram %s%s: bucket le=%q value %g below previous cumulative %g", family, ls, le, value, h.lastCum[ls])
+		}
+		h.lastCum[ls] = value
+		if le == "+Inf" {
+			h.infSeen[ls] = value
+		}
+	case strings.HasSuffix(name, "_count"):
+		h.countVal[ls] = value
+	}
+	return nil
+}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/facility"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/obs/registry"
 	"repro/internal/stm"
 )
 
@@ -81,6 +82,12 @@ type Config struct {
 	// sweeps can inject deterministic faults into the benchmark's
 	// transactions and condvars (no-op on the pthread system).
 	Fault *fault.Injector
+	// Registry, when non-nil, receives the run's live metric sources —
+	// engine counters/histograms, aggregate CVStats (when CVStats is
+	// set), fault-point counters (when Fault is set), and every condvar
+	// as a queue-depth/wait-chain source — for the /debug/cv/* endpoints
+	// (DESIGN.md §10). No-op on the pthread system, which has no engine.
+	Registry *registry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -115,6 +122,16 @@ func (c Config) toolkit() *facility.Toolkit {
 		})
 		tk.Engine.SetTracer(c.Tracer)
 		tk.Engine.SetFault(c.Fault)
+		if c.Registry != nil {
+			name := tk.Engine.Name()
+			tk.Engine.RegisterMetrics(c.Registry)
+			if c.CVStats != nil {
+				c.CVStats.RegisterMetrics(c.Registry, registry.Labels{"engine": name})
+			}
+			c.Fault.RegisterMetrics(c.Registry, registry.Labels{"engine": name})
+			tk.Introspect = c.Registry
+			tk.IntrospectPrefix = name
+		}
 	}
 	return tk
 }

@@ -1,0 +1,68 @@
+package sem
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+	"time"
+)
+
+// This file is the semaphore's face toward the live-introspection stack
+// (DESIGN.md §10): park ages for /debug/cv/waiters and the park-time
+// goroutine pprof labels, both off the Wait fast path — ages are read
+// under the existing waiter-list lock only when a scraper asks, and the
+// label calls sit behind obs.ParkLabelsEnabled (one atomic load when
+// off, checked by TestParkLabelGateNoAlloc in internal/obs).
+
+// WaiterAges returns how long each currently parked goroutine has been
+// waiting, head (longest-parked) first. Negative ages from a stepping
+// clock are clamped to zero, the same discipline as the park histogram.
+func (s *Sem) WaiterAges() []time.Duration {
+	now := time.Now()
+	s.mu.lock()
+	defer s.mu.unlock()
+	var out []time.Duration
+	for w := s.head; w != nil; w = w.next {
+		d := now.Sub(w.parkedAt)
+		if d < 0 {
+			d = 0
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// OldestParkAge returns the park age of the longest-waiting goroutine
+// and whether anyone is parked at all. Same clamping as WaiterAges.
+func (s *Sem) OldestParkAge() (time.Duration, bool) {
+	s.mu.lock()
+	w := s.head
+	if w == nil {
+		s.mu.unlock()
+		return 0, false
+	}
+	parkedAt := w.parkedAt
+	s.mu.unlock()
+	d := time.Since(parkedAt)
+	if d < 0 {
+		d = 0
+	}
+	return d, true
+}
+
+// ParkLabelKey is the goroutine pprof label key parked waiters carry
+// (value: the lane / condvar node id). Visible in goroutine profiles of
+// a process with introspection on, and echoed by /debug/cv/waiters.
+const ParkLabelKey = "cv_lane"
+
+// labelParked tags the calling goroutine with its park lane so goroutine
+// profiles taken during the park attribute it to its condvar node.
+func labelParked(lane uint64) {
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels(ParkLabelKey, strconv.FormatUint(lane, 10))))
+}
+
+// clearParkLabel drops the park label once the goroutine resumes.
+func clearParkLabel() {
+	pprof.SetGoroutineLabels(context.Background())
+}

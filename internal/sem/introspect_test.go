@@ -1,0 +1,75 @@
+package sem
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWaiterAges(t *testing.T) {
+	s := NewBinary()
+	if _, ok := s.OldestParkAge(); ok {
+		t.Fatal("OldestParkAge reports a waiter on an idle semaphore")
+	}
+	released := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		go func() {
+			s.Wait()
+			released <- struct{}{}
+		}()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Waiters() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiters never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond)
+
+	ages := s.WaiterAges()
+	if len(ages) != 3 {
+		t.Fatalf("WaiterAges returned %d entries, want 3", len(ages))
+	}
+	for i, a := range ages {
+		if a <= 0 {
+			t.Errorf("waiter %d has non-positive park age %v", i, a)
+		}
+	}
+	// FIFO: the head is the longest-parked, so ages must not increase.
+	for i := 1; i < len(ages); i++ {
+		if ages[i] > ages[i-1] {
+			t.Errorf("ages out of FIFO order: %v", ages)
+		}
+	}
+	oldest, ok := s.OldestParkAge()
+	if !ok || oldest <= 0 {
+		t.Fatalf("OldestParkAge = %v, %v", oldest, ok)
+	}
+
+	s.PostN(3)
+	for i := 0; i < 3; i++ {
+		<-released
+	}
+	if _, ok := s.OldestParkAge(); ok {
+		t.Fatal("OldestParkAge reports a waiter after all were released")
+	}
+}
+
+// TestWaiterAgeClamped pins the negative-age clamp: a waiter whose
+// parkedAt is in the future (a stepping clock) reports age zero, the
+// same discipline parkEnd applies to the park histogram.
+func TestWaiterAgeClamped(t *testing.T) {
+	s := NewBinary()
+	w := &waiter{ch: make(chan struct{}, 1)}
+	s.mu.lock()
+	s.enqueueLocked(w)
+	w.parkedAt = time.Now().Add(time.Hour) // hostile: park "begins" in the future
+	s.mu.unlock()
+
+	if ages := s.WaiterAges(); len(ages) != 1 || ages[0] != 0 {
+		t.Fatalf("WaiterAges = %v, want [0]", ages)
+	}
+	if oldest, ok := s.OldestParkAge(); !ok || oldest != 0 {
+		t.Fatalf("OldestParkAge = %v, %v, want 0, true", oldest, ok)
+	}
+}

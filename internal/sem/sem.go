@@ -53,6 +53,12 @@ type Stats struct {
 type waiter struct {
 	ch   chan struct{}
 	next *waiter
+
+	// parkedAt is the monotonic park-start timestamp, stamped under the
+	// semaphore lock by enqueueLocked and read under the same lock by
+	// WaiterAges/OldestParkAge — the live park-age source behind
+	// /debug/cv/waiters.
+	parkedAt time.Time
 }
 
 // Sem is a counting semaphore. The zero value is a semaphore with zero
@@ -124,9 +130,14 @@ func (s *Sem) faultAt(p fault.Point) {
 }
 
 // parkStart stamps the beginning of a descheduled Wait, emitting the park
-// event if tracing. It returns the zero time when neither stats nor
-// tracing need the timestamp, which parkEnd treats as "don't observe".
+// event if tracing and labeling the goroutine with its condvar lane when
+// introspection asked for it. It returns the zero time when neither
+// stats nor tracing need the timestamp, which parkEnd treats as "don't
+// observe". The label gate is one atomic load when off.
 func (s *Sem) parkStart() time.Time {
+	if obs.ParkLabelsEnabled() {
+		labelParked(s.lane)
+	}
 	traced := s.tr.Enabled()
 	if s.st == nil && !traced {
 		return time.Time{}
@@ -139,8 +150,11 @@ func (s *Sem) parkStart() time.Time {
 }
 
 // parkEnd records the park duration started at t0 (histogram + unpark
-// span event).
+// span event) and clears the park label.
 func (s *Sem) parkEnd(t0 time.Time) {
+	if obs.ParkLabelsEnabled() {
+		clearParkLabel()
+	}
 	if t0.IsZero() {
 		return
 	}
@@ -397,6 +411,7 @@ func (s *Sem) Waiters() int {
 }
 
 func (s *Sem) enqueueLocked(w *waiter) {
+	w.parkedAt = time.Now()
 	if s.tail == nil {
 		s.head, s.tail = w, w
 	} else {

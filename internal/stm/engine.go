@@ -173,41 +173,27 @@ type TMStats struct {
 }
 
 // Snapshot returns all counters at one instant, keyed by name — handy for
-// logging and for diffing across benchmark phases.
+// logging and for diffing across benchmark phases. It reads the same
+// instrument table (introspect.go) that RegisterMetrics exports, so the
+// JSON key set and the registry's metric set cannot drift apart.
 func (s *TMStats) Snapshot() map[string]int64 {
-	return map[string]int64{
-		"starts":          s.Starts.Load(),
-		"commits":         s.Commits.Load(),
-		"aborts":          s.Aborts.Load(),
-		"conflict_aborts": s.ConflictAborts.Load(),
-		"capacity_aborts": s.CapacityAborts.Load(),
-		"syscall_aborts":  s.SyscallAborts.Load(),
-		"explicit_aborts": s.ExplicitAborts.Load(),
-		"early_commits":   s.EarlyCommits.Load(),
-		"serial_commits":  s.SerialCommits.Load(),
-		"serial_fallback": s.SerialFallback.Load(),
-		"relaxed_txns":    s.RelaxedTxns.Load(),
-		"extensions":      s.Extensions.Load(),
-		"handlers_run":    s.HandlersRun.Load(),
-		"retry_aborts":    s.RetryAborts.Load(),
-		"retry_waits":     s.RetryWaits.Load(),
-		"retry_wakes":     s.RetryWakes.Load(),
-		"max_attempts":    s.MaxAttempts.Load(),
-		"health":          s.Health.Load(),
-		"health_changes":  s.HealthTransitions.Load(),
-		"storm_windows":   s.StormWindows.Load(),
+	rows := s.scalars()
+	out := make(map[string]int64, len(rows))
+	for _, sc := range rows {
+		out[sc.name] = sc.read()
 	}
+	return out
 }
 
 // Histograms returns snapshots of the latency histograms, keyed by name —
 // the companion of Snapshot for the machine-readable metrics export.
 func (s *TMStats) Histograms() map[string]obs.HistogramSnapshot {
-	return map[string]obs.HistogramSnapshot{
-		"commit_ns": s.CommitNanos.Snapshot(),
-		"abort_ns":  s.AbortNanos.Snapshot(),
-		"serial_ns": s.SerialNanos.Snapshot(),
-		"attempts":  s.Attempts.Snapshot(),
+	rows := s.histograms()
+	out := make(map[string]obs.HistogramSnapshot, len(rows))
+	for _, th := range rows {
+		out[th.name] = th.h.Snapshot()
 	}
+	return out
 }
 
 // AbortRate returns aborts / starts, or 0 with no activity.
@@ -253,6 +239,10 @@ type Engine struct {
 
 	// wd is the abort-storm watchdog (see watchdog.go).
 	wd watchdog
+
+	// healthCB is invoked on published watchdog health transitions; nil
+	// when unset. Set during setup via SetHealthCallback.
+	healthCB func(next, old Health)
 
 	Stats TMStats
 }

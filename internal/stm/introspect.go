@@ -1,0 +1,98 @@
+package stm
+
+import (
+	"repro/internal/obs"
+	"repro/internal/obs/registry"
+)
+
+// This file is the engine's face toward the live-introspection stack
+// (DESIGN.md §10): one source-of-truth table over TMStats that backs
+// Snapshot, Histograms and RegisterMetrics — so the JSON export and the
+// registry expose the same key set by construction — plus the health
+// callback hook the flight recorder arms.
+
+// tmScalar is one TMStats counter/gauge row.
+type tmScalar struct {
+	name string
+	help string
+	kind registry.Kind
+	read func() int64
+}
+
+// scalars lists every scalar instrument in TMStats. The reflection test
+// in stats_keys_test.go pins this table complete: one row per
+// stats.Counter/Gauge/Max field.
+func (s *TMStats) scalars() []tmScalar {
+	return []tmScalar{
+		{"starts", "transaction attempts begun", registry.KindCounter, s.Starts.Load},
+		{"commits", "outermost commits (incl. serial)", registry.KindCounter, s.Commits.Load},
+		{"aborts", "attempts rolled back", registry.KindCounter, s.Aborts.Load},
+		{"conflict_aborts", "aborts caused by orec conflicts", registry.KindCounter, s.ConflictAborts.Load},
+		{"capacity_aborts", "HTM read/write-set overflow aborts", registry.KindCounter, s.CapacityAborts.Load},
+		{"syscall_aborts", "HTM aborts due to Tx.Syscall", registry.KindCounter, s.SyscallAborts.Load},
+		{"explicit_aborts", "Tx.Cancel aborts", registry.KindCounter, s.ExplicitAborts.Load},
+		{"early_commits", "Tx.CommitEarly (the condvar WAIT path)", registry.KindCounter, s.EarlyCommits.Load},
+		{"serial_commits", "commits executed irrevocably", registry.KindCounter, s.SerialCommits.Load},
+		{"serial_fallback", "optimistic-to-serial transitions", registry.KindCounter, s.SerialFallback.Load},
+		{"relaxed_txns", "AtomicRelaxed invocations", registry.KindCounter, s.RelaxedTxns.Load},
+		{"extensions", "successful snapshot extensions", registry.KindCounter, s.Extensions.Load},
+		{"handlers_run", "onCommit handlers executed", registry.KindCounter, s.HandlersRun.Load},
+		{"retry_aborts", "attempts that called Retry", registry.KindCounter, s.RetryAborts.Load},
+		{"retry_waits", "Retry callers that actually slept", registry.KindCounter, s.RetryWaits.Load},
+		{"retry_wakes", "sleeping retriers woken by commits", registry.KindCounter, s.RetryWakes.Load},
+		{"max_attempts", "worst retry count observed", registry.KindGauge, s.MaxAttempts.Load},
+		{"health", "degradation state (0 healthy, 1 degraded, 2 serial)", registry.KindGauge, s.Health.Load},
+		{"health_changes", "abort-storm watchdog state transitions", registry.KindCounter, s.HealthTransitions.Load},
+		{"storm_windows", "watchdog windows that ran hot", registry.KindCounter, s.StormWindows.Load},
+	}
+}
+
+// tmHist is one TMStats histogram row.
+type tmHist struct {
+	name string
+	help string
+	h    *obs.Histogram
+}
+
+// histograms lists every latency histogram in TMStats; same
+// completeness contract as scalars.
+func (s *TMStats) histograms() []tmHist {
+	return []tmHist{
+		{"commit_ns", "wall time of attempts that committed", &s.CommitNanos},
+		{"abort_ns", "wall time wasted by attempts that aborted", &s.AbortNanos},
+		{"serial_ns", "duration of serial-fallback episodes", &s.SerialNanos},
+		{"attempts", "attempts per committed transaction (1 = first try)", &s.Attempts},
+	}
+}
+
+// RegisterMetrics registers every engine instrument into r under the
+// engine's name label: counters as stm_<name>_total, gauges as
+// stm_<name>, histograms as stm_<name>. Call once at construction (or
+// per run against a long-lived registry — re-registration replaces the
+// previous run's sources). Registration is pull-only: the hot path
+// keeps its plain atomics and never sees the registry.
+func (e *Engine) RegisterMetrics(r *registry.Registry) {
+	if r == nil {
+		return
+	}
+	labels := registry.Labels{"engine": e.cfg.Name, "algorithm": e.cfg.Algorithm.String()}
+	for _, sc := range e.Stats.scalars() {
+		switch sc.kind {
+		case registry.KindCounter:
+			r.RegisterCounter("stm_"+sc.name+"_total", sc.help, labels, sc.read)
+		default:
+			r.RegisterGauge("stm_"+sc.name, sc.help, labels, sc.read)
+		}
+	}
+	for _, th := range e.Stats.histograms() {
+		r.RegisterHistogram("stm_"+th.name, th.help, labels, th.h.Snapshot)
+	}
+}
+
+// SetHealthCallback installs a hook invoked after every published
+// watchdog health transition, with the new and old states. The callback
+// runs on the transaction goroutine that rolled the hot window — keep
+// it brief, or hand off (the flight recorder's arm does exactly that).
+// Like SetTracer it is a setup-time call: attach before sharing the
+// engine.
+func (e *Engine) SetHealthCallback(fn func(next, old Health)) { e.healthCB = fn }

@@ -132,6 +132,9 @@ func (e *Engine) setHealth(next, old Health) {
 	e.Stats.Health.Set(int64(next))
 	e.Stats.HealthTransitions.Inc()
 	e.tracer.Emit(0, obs.EvHealth, int64(next), int64(old))
+	if cb := e.healthCB; cb != nil {
+		cb(next, old)
+	}
 }
 
 // backoffShift widens the backoff envelope under degradation: each

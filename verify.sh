@@ -1,9 +1,11 @@
 #!/bin/sh
 # verify.sh — the repository's full verification gate. Everything here is
-# hermetic (toolchain only, no network): build, vet, the test suite under
-# the race detector, a second stm/core pass with the runtime sanitizer
-# compiled on (-tags stmsan), the cvlint static misuse analyzers over the
-# whole module, and two bounded exhaustive model-checking runs.
+# hermetic (toolchain only, nothing beyond loopback): build, vet, the
+# test suite under the race detector, a second stm/core pass with the
+# runtime sanitizer compiled on (-tags stmsan), the cvlint static misuse
+# analyzers over the whole module, two bounded exhaustive model-checking
+# runs, and a live-introspection smoke gate that scrapes the /debug/cv/*
+# endpoints during a chaos soak.
 #
 # Tier-1 (the subset CI must keep green) is `go build ./... && go test
 # ./...`; this script is the superset to run before merging.
@@ -28,7 +30,8 @@ go run ./cmd/cvlint ./...
 go run ./cmd/cvlint ./internal/obs
 
 step "tracer overhead guard (disabled path must not allocate)"
-go test -run 'TestTraceDisabledNoAlloc|TestTraceEnabledNoAlloc|TestHistogramObserveNoAlloc' ./internal/obs
+go test -run 'TestTraceDisabledNoAlloc|TestTraceEnabledNoAlloc|TestHistogramObserveNoAlloc|TestParkLabelGateNoAlloc' ./internal/obs
+go test -run 'NoAlloc' ./internal/obs/registry
 go test -run '^$' -bench BenchmarkTraceDisabled -benchmem ./internal/obs | tee /tmp/obs_bench.$$ >/dev/null
 grep -q ' 0 allocs/op' /tmp/obs_bench.$$ || {
 	echo "BenchmarkTraceDisabled allocates:"; cat /tmp/obs_bench.$$; rm -f /tmp/obs_bench.$$; exit 1;
@@ -42,5 +45,36 @@ go run ./cmd/modelcheck -waiters 2 -notifyall 1
 step "chaos soak (deterministic fault injection, fixed seed)"
 go test -race ./internal/fault
 go run ./cmd/cvstress -mode chaos -seed 3405691582 -faultrate 0.25 -duration 2s
+
+step "introspection smoke (live /debug/cv/* endpoints during a chaos run)"
+# Start a chaos soak with the introspection server on an ephemeral port,
+# scrape it while the workload runs, and validate every endpoint's
+# format with cvtop -check (Prometheus exposition + JSON shapes).
+ISPORT=39217
+go run ./cmd/cvstress -mode chaos -seed 3405691582 -faultrate 0.25 -duration 4s \
+	-introspect "127.0.0.1:$ISPORT" >/tmp/cvstress_is.$$ 2>&1 &
+ISPID=$!
+ISADDR="127.0.0.1:$ISPORT"
+# Wait for the listener, then give the workload a beat to register sources.
+i=0
+until curl -fsS "http://$ISADDR/debug/cv/vars" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ $i -lt 50 ] || { echo "introspection endpoint never came up"; cat /tmp/cvstress_is.$$; exit 1; }
+	sleep 0.1
+done
+sleep 0.5
+curl -fsS "http://$ISADDR/debug/cv/metrics" >/tmp/is_metrics.$$
+grep -q '^stm_commits_total{' /tmp/is_metrics.$$ || {
+	echo "live metrics missing stm_commits_total:"; cat /tmp/is_metrics.$$; exit 1;
+}
+grep -q '^cv_queue_depth{' /tmp/is_metrics.$$ || {
+	echo "live metrics missing cv_queue_depth:"; cat /tmp/is_metrics.$$; exit 1;
+}
+curl -fsS "http://$ISADDR/debug/cv/waiters" | grep -q '"generated_at"' || {
+	echo "waiters endpoint malformed"; exit 1;
+}
+go run ./cmd/cvtop -addr "$ISADDR" -check
+wait $ISPID || { echo "instrumented chaos soak failed:"; cat /tmp/cvstress_is.$$; exit 1; }
+rm -f /tmp/is_metrics.$$ /tmp/cvstress_is.$$
 
 step "ok"
