@@ -14,9 +14,12 @@ package repro
 // the RATIOS between systems at equal thread counts (see EXPERIMENTS.md).
 
 import (
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/birrellcv"
 	"repro/internal/core"
@@ -24,6 +27,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/parsec"
 	"repro/internal/pthreadcv"
+	"repro/internal/sem"
 	"repro/internal/stm"
 	"repro/internal/syncx"
 )
@@ -459,6 +463,165 @@ func BenchmarkAblationRetryVsCondVar(b *testing.B) {
 			}
 		}
 		<-done
+	})
+}
+
+// ---- Broadcast wake scalability: chained hand-off vs serial posting ----
+
+// benchBroadcastWake parks `waiters` goroutines on one condvar behind a
+// generation predicate, then broadcasts once per iteration. The
+// paper-relevant number is broadcast-ns — the BroadcastNanos histogram's
+// commit-to-last-waiter-resumed latency — compared between the chained
+// hand-off wake path (default) and the -serialwake ablation, which posts
+// every semaphore from the notifier's commit handler.
+func benchBroadcastWake(b *testing.B, waiters int, opts core.Options) {
+	e := stm.NewEngine(stm.Config{})
+	cv := core.New(e, opts)
+	st := &core.CVStats{}
+	cv.SetStats(st)
+	var m syncx.Mutex
+	gen := 0 // protected by m; waiters sleep until it advances
+	stopped := false
+	arrived := make(chan struct{}, waiters)
+	exited := make(chan struct{}, waiters)
+	for w := 0; w < waiters; w++ {
+		go func() {
+			seen := 0
+			for {
+				m.Lock()
+				for gen == seen && !stopped {
+					cv.WaitLocked(&m)
+				}
+				if stopped {
+					m.Unlock()
+					exited <- struct{}{}
+					return
+				}
+				seen = gen
+				m.Unlock()
+				arrived <- struct{}{}
+			}
+		}()
+	}
+	waitParked := func() {
+		for cv.Len() < waiters {
+			runtime.Gosched()
+		}
+	}
+	waitParked()
+	var notifyNS int64 // time the notifier spends inside NotifyAll itself
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Lock()
+		gen++
+		m.Unlock()
+		t0 := time.Now()
+		n := cv.NotifyAll(nil)
+		notifyNS += time.Since(t0).Nanoseconds()
+		if n != waiters {
+			b.Fatalf("broadcast woke %d of %d waiters", n, waiters)
+		}
+		for k := 0; k < waiters; k++ {
+			<-arrived
+		}
+		if i+1 < b.N {
+			waitParked()
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(notifyNS)/float64(b.N), "notify-ns")
+	if st.BroadcastNanos.Count() > 0 {
+		b.ReportMetric(st.BroadcastNanos.Mean(), "broadcast-ns")
+		b.ReportMetric(float64(st.BroadcastNanos.Max()), "broadcast-ns-max")
+	}
+	m.Lock()
+	stopped = true
+	m.Unlock()
+	drained := 0
+	for drained < waiters {
+		cv.NotifyAll(nil)
+		select {
+		case <-exited:
+			drained++
+		default:
+			runtime.Gosched()
+		}
+	}
+}
+
+func BenchmarkBroadcastWake(b *testing.B) {
+	for _, waiters := range []int{64, 128} {
+		for _, c := range []struct {
+			name string
+			opts core.Options
+		}{
+			{"serial", core.Options{SerialWake: true}},
+			{"auto", core.Options{}},
+			{"chained-f8", core.Options{WakeFanout: 8}},
+			{"chained-f16", core.Options{WakeFanout: 16}},
+		} {
+			b.Run("w"+strconv.Itoa(waiters)+"/"+c.name, func(b *testing.B) {
+				benchBroadcastWake(b, waiters, c.opts)
+			})
+		}
+	}
+}
+
+// SemBatchPost: releasing k parked waiters with one PostN (single lock
+// acquisition, chained hand-off) versus k serial Posts — the sem-layer
+// half of the batched wake path.
+func BenchmarkSemBatchPost(b *testing.B) {
+	const k = 64
+	run := func(b *testing.B, post func(s *sem.Sem)) {
+		s := sem.New(0)
+		stop := make(chan struct{})
+		arrived := make(chan struct{}, k)
+		var wg sync.WaitGroup
+		wg.Add(k)
+		for w := 0; w < k; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					s.Wait()
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					arrived <- struct{}{}
+				}
+			}()
+		}
+		waitParked := func() {
+			for s.Waiters() < k {
+				runtime.Gosched()
+			}
+		}
+		waitParked()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(s)
+			for j := 0; j < k; j++ {
+				<-arrived
+			}
+			if i+1 < b.N {
+				waitParked()
+			}
+		}
+		b.StopTimer()
+		close(stop)
+		s.PostN(k) // release the final generation so every worker exits
+		wg.Wait()
+	}
+	b.Run("postn", func(b *testing.B) {
+		run(b, func(s *sem.Sem) { s.PostN(k) })
+	})
+	b.Run("serial-post", func(b *testing.B) {
+		run(b, func(s *sem.Sem) {
+			for i := 0; i < k; i++ {
+				s.Post()
+			}
+		})
 	})
 }
 

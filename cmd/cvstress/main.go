@@ -412,6 +412,15 @@ func runChaosKind(kind facility.Kind, goroutines int, seed uint64, rate float64,
 	cv := core.New(e, tk.CVOpts)
 	cv.SetStats(cvStats)
 	cv.RegisterIntrospect(reg, e.Name()+"/probe")
+	// Broadcast probe state: a separate condvar with a wide wait set, woken
+	// by single chained NotifyAll batches while the injector stalls the
+	// post/park/notify hook points underneath.
+	bcv := core.New(e, tk.CVOpts)
+	bcv.SetStats(cvStats)
+	var bm syncx.Mutex
+	bgen := 0
+	var broadcasts, bwoken int
+	var bstuck int
 	var m syncx.Mutex
 	var races, lost, spurious int
 	var cancels, cancelRaces int
@@ -468,6 +477,45 @@ func runChaosKind(kind facility.Kind, goroutines int, seed uint64, rate float64,
 		if !got {
 			cancels++
 		}
+
+		// Broadcast probe (every 16th iteration): park a wide wait set
+		// behind a generation predicate, flip the generation, and wake the
+		// whole batch with one NotifyAll. The generation is read and the
+		// wait entered under one lock hold, so every waiter either parks
+		// before the flip (and must be in the batch) or observes the new
+		// generation and never sleeps — any waiter still parked after the
+		// broadcast is a lost wake-up in the chained hand-off.
+		if i%16 == 5 {
+			const wide = 48
+			start := bgen
+			resumed := make(chan struct{})
+			var bwg sync.WaitGroup
+			bwg.Add(wide)
+			for w := 0; w < wide; w++ {
+				go func() {
+					defer bwg.Done()
+					bm.Lock()
+					for bgen == start {
+						bcv.WaitLocked(&bm)
+					}
+					bm.Unlock()
+				}()
+			}
+			for bcv.Len() < wide && time.Now().Before(deadline.Add(time.Second)) {
+				time.Sleep(10 * time.Microsecond)
+			}
+			bm.Lock()
+			bgen++
+			bm.Unlock()
+			bwoken += bcv.NotifyAll(nil)
+			broadcasts++
+			go func() { bwg.Wait(); close(resumed) }()
+			select {
+			case <-resumed:
+			case <-time.After(5 * time.Second):
+				bstuck++ // a waiter never resumed: lost broadcast wake
+			}
+		}
 	}
 
 	// Drain: wait for the producers to retire first — one may still be
@@ -482,9 +530,10 @@ func runChaosKind(kind facility.Kind, goroutines int, seed uint64, rate float64,
 
 	conserved := produced.Load() == consumed.Load() &&
 		prodSum.Load() == consSum.Load() && prodSq.Load() == consSq.Load()
-	kindOK := conserved && lost == 0 && spurious == 0
-	fmt.Printf("%-22s: %d items conserved=%v | timed=%d cancel=%d (cancelled=%d) lost=%d spurious=%d | faults=%d health=%v commits=%d aborts=%d serial=%d\n",
+	kindOK := conserved && lost == 0 && spurious == 0 && bstuck == 0
+	fmt.Printf("%-22s: %d items conserved=%v | timed=%d cancel=%d (cancelled=%d) lost=%d spurious=%d | broadcasts=%d woke=%d stuck=%d | faults=%d health=%v commits=%d aborts=%d serial=%d\n",
 		kind, produced.Load(), conserved, races, cancelRaces, cancels, lost, spurious,
+		broadcasts, bwoken, bstuck,
 		in.FiredTotal(), e.Health(), e.Stats.Commits.Load(), e.Stats.Aborts.Load(), e.Stats.SerialCommits.Load())
 	return kindOK
 }

@@ -22,6 +22,8 @@
 //	-tracebuf N                 trace ring-buffer capacity in events
 //	-resultdir dir              per-run JSON results directory ("" disables)
 //	-introspect addr            serve /debug/cv/* live endpoints while running
+//	-wakefanout N               NotifyAll chained-wake fan-out (0 = default)
+//	-serialwake                 ablation: serial broadcast wake loop
 //
 // Examples:
 //
@@ -39,6 +41,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/obs/introspect"
@@ -63,6 +66,8 @@ func main() {
 	resultDir := flag.String("resultdir", "results", "directory for per-run JSON result files (\"\" disables)")
 	introspectAddr := flag.String("introspect", "", "serve /debug/cv/* live-introspection endpoints on this address (e.g. 127.0.0.1:6070)")
 	quiet := flag.Bool("quiet", false, "suppress live progress")
+	wakeFanout := flag.Int("wakefanout", 0, "NotifyAll wake fan-out (chains started by the notifier; 0 = default pacing)")
+	serialWake := flag.Bool("serialwake", false, "ablation: disable the chained wake batch and post every broadcast waiter serially from the commit handler")
 	flag.Parse()
 
 	effScale := *scale
@@ -117,6 +122,7 @@ func main() {
 		// The per-run result files carry the full per-trial snapshots, so
 		// collection is on whenever either JSON output is wanted.
 		CollectMetrics: *metrics || *resultDir != "",
+		CVOpts:         core.Options{WakeFanout: *wakeFanout, SerialWake: *serialWake},
 	}
 	if !*quiet {
 		cfg.Progress = os.Stderr

@@ -32,6 +32,10 @@ func (c *LockCond) Wait(m *syncx.Mutex) { c.cv.WaitLocked(m) }
 // transaction; the signal fires immediately).
 func (c *LockCond) Signal() { c.cv.NotifyOne(nil) }
 
+// SignalN wakes up to n waiters as one batch (a single dequeue
+// transaction and one chained hand-off; see CondVar.NotifyN).
+func (c *LockCond) SignalN(n int) { c.cv.NotifyN(nil, n) }
+
 // Broadcast wakes every waiter.
 func (c *LockCond) Broadcast() { c.cv.NotifyAll(nil) }
 
@@ -57,6 +61,9 @@ func (c *TxCond) Wait(tx *stm.Tx) { c.cv.WaitTx(tx) }
 
 // Signal wakes one waiter when tx commits.
 func (c *TxCond) Signal(tx *stm.Tx) { c.cv.NotifyOne(tx) }
+
+// SignalN wakes up to n waiters as one batch when tx commits.
+func (c *TxCond) SignalN(tx *stm.Tx, n int) { c.cv.NotifyN(tx, n) }
 
 // Broadcast wakes all current waiters when tx commits.
 func (c *TxCond) Broadcast(tx *stm.Tx) { c.cv.NotifyAll(tx) }

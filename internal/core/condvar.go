@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +31,14 @@ const (
 	LIFO
 )
 
+// DefaultWakeFanout is the number of hand-off chains a committed
+// broadcast starts when Options.WakeFanout is zero. Fan-out 1 is a pure
+// chain (minimum notifier work, maximum wake-to-wake latency for the
+// tail); fan-out == batch size degenerates to the serial wake loop. 8
+// keeps the notifier's commit handler O(1)-ish while giving the chain
+// log-depth parallelism on typical core counts.
+const DefaultWakeFanout = 8
+
 // Options configures a CondVar.
 type Options struct {
 	// Policy selects the NotifyOne victim discipline. Default FIFO.
@@ -44,6 +53,17 @@ type Options struct {
 	// allows wake-ups from transactions that later abort; it exists only
 	// so the ablation benchmark can measure what the deferral costs.
 	ImmediatePost bool
+	// WakeFanout is the number of waiters a committed NotifyAll/NotifyN
+	// unparks itself; the rest are unparked in chains, each woken waiter
+	// unparking its successor. Zero means auto: DefaultWakeFanout, or a
+	// direct post of the whole batch when GOMAXPROCS is 1 (chains cost
+	// scheduling hops that only parallelism wins back). Ignored when
+	// SerialWake is set.
+	WakeFanout int
+	// SerialWake restores the pre-batching behavior: the committing
+	// notifier unparks every dequeued waiter itself, one semaphore post
+	// at a time. For the broadcast ablation benchmark.
+	SerialWake bool
 }
 
 // CVStats aggregates condition-variable activity.
@@ -64,6 +84,13 @@ type CVStats struct {
 	EnqueueToNotify obs.Histogram // ns: enqueue → notifier's committed post
 	NotifyToWake    obs.Histogram // ns: committed post → waiter resumed
 	QueueDepth      obs.Histogram // committed queue depth seen at each dequeue
+
+	// Broadcast shape: how many waiters each committed NotifyAll/NotifyN
+	// batch dequeued, and how long the whole batch took from the commit
+	// handler starting to the last waiter resuming (the commit-to-last-
+	// wake latency the scalable wake path optimizes).
+	WakeBatch      obs.Histogram // waiters per committed notify batch
+	BroadcastNanos obs.Histogram // ns: batch commit → last waiter resumed
 
 	// Sem aggregates the node semaphores' activity (park durations live
 	// in Sem.ParkNanos). Attached to each node's semaphore lazily.
@@ -122,6 +149,23 @@ type Node struct {
 	// notification that outlives the node it targeted is detected (ABA).
 	inQueue atomic.Bool
 	gen     atomic.Uint64
+
+	// Chained hand-off state, set by a committed notify batch
+	// (wakeCommitted) and consumed exactly once by the woken owner in
+	// noteWake: wakeNext is the next waiter this one must unpark, batch
+	// tracks the broadcast this wake belongs to for the commit-to-last-
+	// wake histogram. Both are nil outside a batch wake.
+	wakeNext atomic.Pointer[Node]
+	batch    atomic.Pointer[wakeBatch]
+}
+
+// wakeBatch is the shared bookkeeping of one committed notify batch:
+// every woken waiter decrements remaining, and the last one observes
+// the batch's commit-to-last-wake latency.
+type wakeBatch struct {
+	startNS   int64
+	remaining atomic.Int64
+	st        *CVStats
 }
 
 // nodeSeq hands out trace-lane ids for nodes across all condvars.
@@ -224,6 +268,10 @@ func (cv *CondVar) releaseNode(n *Node) {
 	// the old one is a bug the generation check will catch.
 	n.gen.Add(1)
 	n.inQueue.Store(false)
+	// noteWake consumed these on every legal path; clear anyway so a
+	// recycled node never inherits a stale chain link or batch.
+	n.wakeNext.Store(nil)
+	n.batch.Store(nil)
 	if cv.opts.NoNodePool {
 		return
 	}
@@ -558,39 +606,135 @@ func (cv *CondVar) WaitAtCommit(tx *stm.Tx) {
 	})
 }
 
-// notifyCommitted is the committed side of a notification: it records the
-// dequeue in the observability instruments (queue depth, enqueue→notify
-// latency, sempost trace event) and then posts the node's semaphore. It
-// runs exactly once per real dequeue — from the notifier's commit handler,
-// or directly on the immediate-post ablation path.
-func (cv *CondVar) notifyCommitted(n *Node) {
+// wakeNode performs the committed post of one dequeued node: the fault
+// window, the enqueue→notify latency observation, the sempost trace
+// event, and the semaphore post itself. depth is the committed queue
+// depth the dequeue observed (0 for chained wakes, where the poster is
+// another waiter, not the notifier). Queue-depth bookkeeping belongs to
+// the caller — notifyCommitted for singles, wakeCommitted for batches.
+func (cv *CondVar) wakeNode(n *Node, depth int64) {
 	// Fault hook: stall between the committed dequeue and the semaphore
 	// post — the window in which a timed-out or cancelled waiter races a
 	// wake-up it can no longer refuse.
 	cv.faultWindow(fault.CVNotify, n.id)
 	now := monoNS()
-	d := cv.depth.Load()
-	cv.depth.Dec()
 	if cv.st != nil {
 		if enq := n.enqueuedNS.Load(); enq != 0 {
 			cv.st.EnqueueToNotify.Observe(now - enq)
 		}
-		cv.st.QueueDepth.Observe(d)
 	}
 	// Stored before Post: the semaphore hand-off orders this store before
 	// the woken waiter's read in noteWake.
 	n.notifiedNS.Store(now)
 	if tr := cv.e.Tracer(); tr.Enabled() {
-		tr.Emit(n.id, obs.EvCVSemPost, int64(n.id), d)
+		tr.Emit(n.id, obs.EvCVSemPost, int64(n.id), depth)
 	}
 	n.inQueue.Store(false)
 	n.sem.Post()
 }
 
+// notifyCommitted is the committed side of a single-node notification:
+// queue-depth bookkeeping plus the wakeNode post. It runs exactly once
+// per real dequeue — from the notifier's commit handler, or directly on
+// the immediate-post ablation path.
+func (cv *CondVar) notifyCommitted(n *Node) {
+	d := cv.depth.Load()
+	cv.depth.Dec()
+	if cv.st != nil {
+		cv.st.QueueDepth.Observe(d)
+	}
+	cv.wakeNode(n, d)
+}
+
+// wakeCommitted is the committed side of a batched NotifyAll/NotifyN:
+// one commit handler for the whole dequeued batch. It performs the
+// batch's depth bookkeeping and sanitizer generation checks, then
+// unparks the first WakeFanout waiters; every other waiter is unparked
+// by its predecessor (each woken waiter's noteWake posts the node
+// WakeFanout places behind it). The committing transaction therefore
+// pays O(fanout) semaphore posts instead of O(batch), and the wake wave
+// spreads across the woken goroutines themselves — the paper's deferred
+// SEMPOST (Algorithm 6) without the thundering-herd commit handler.
+func (cv *CondVar) wakeCommitted(nodes []*Node, gens []uint64) {
+	total := len(nodes)
+	if total == 0 {
+		return
+	}
+	if cv.sanitizeOn() {
+		for i, n := range nodes {
+			if n.gen.Load() != gens[i] {
+				panic(fmt.Sprintf(
+					"core: sanitizer: batched notification committed against a recycled condvar node (generation %d at dequeue, %d at post) — the wake-up would go to the wrong waiter (ABA)",
+					gens[i], n.gen.Load()))
+			}
+		}
+	}
+	d := cv.depth.Load()
+	cv.depth.Add(-int64(total))
+	var wb *wakeBatch
+	if cv.st != nil {
+		cv.st.WakeBatch.Observe(int64(total))
+		for i := range nodes {
+			cv.st.QueueDepth.Observe(d - int64(i))
+		}
+		wb = &wakeBatch{startNS: monoNS(), st: cv.st}
+		wb.remaining.Store(int64(total))
+	}
+	if cv.opts.SerialWake {
+		// Ablation: the legacy serial wake loop, one post per waiter on
+		// the notifier's goroutine (still measured by the batch clock).
+		for i, n := range nodes {
+			n.batch.Store(wb)
+			cv.wakeNode(n, d-int64(i))
+		}
+		return
+	}
+	fan := cv.opts.WakeFanout
+	if fan <= 0 {
+		fan = DefaultWakeFanout
+		if runtime.GOMAXPROCS(0) == 1 {
+			// Chained hand-off trades notifier-side posts for wake-to-wake
+			// scheduling hops; with a single P there is no parallelism to
+			// win the hops back, so auto mode posts the batch directly.
+			fan = total
+		}
+	}
+	if fan > total {
+		fan = total
+	}
+	// Link every chain before waking any head: a woken head immediately
+	// chases its wakeNext pointers, which must all be in place.
+	for i, n := range nodes {
+		n.batch.Store(wb)
+		if i+fan < total {
+			n.wakeNext.Store(nodes[i+fan])
+		}
+	}
+	for i := 0; i < fan; i++ {
+		cv.wakeNode(nodes[i], d-int64(i))
+	}
+}
+
 // noteWake records the waiter side of a wake-up: the notify→wake latency
 // (runtime rescheduling cost) and the wake trace event. It must run
 // before releaseNode, which retires the node's incarnation.
+//
+// It is also the engine of the chained hand-off: a waiter woken as part
+// of a batch unparks its chain successor first — before its own
+// bookkeeping, continuation, or lock re-acquisition — so the wake wave
+// keeps moving even if this goroutine immediately blocks on the
+// caller's mutex. Every wake-consuming path funnels through here
+// (including timeout/cancel losers that keep a raced permit), which is
+// what guarantees a dequeued chain always drains.
 func (cv *CondVar) noteWake(n *Node) {
+	if nx := n.wakeNext.Swap(nil); nx != nil {
+		cv.wakeNode(nx, 0)
+	}
+	if wb := n.batch.Swap(nil); wb != nil {
+		if wb.remaining.Add(-1) == 0 && wb.st != nil {
+			wb.st.BroadcastNanos.Observe(monoNS() - wb.startNS)
+		}
+	}
 	if cv.st != nil {
 		cv.st.Waits.Inc()
 		if ns := n.notifiedNS.Load(); ns != 0 {
@@ -675,24 +819,50 @@ func (cv *CondVar) NotifyOne(tx *stm.Tx) bool {
 	return found
 }
 
-// NotifyAll is Algorithm 6: dequeue every waiter and schedule all their
-// wake-ups. It returns the number of waiters notified.
-func (cv *CondVar) NotifyAll(tx *stm.Tx) int {
+// notifyBatch is the shared dequeue body of NotifyAll and NotifyN:
+// unlink up to max waiters (max < 0 means all) and schedule one commit
+// handler that wakes the whole batch via wakeCommitted's chained
+// hand-off. On the immediate-post ablation path each node is posted
+// in-body through notifyPost instead. It returns the number dequeued.
+func (cv *CondVar) notifyBatch(tx *stm.Tx, max int) int {
 	count := 0
 	body := func(tx *stm.Tx) {
 		count = 0
+		if max == 0 {
+			return
+		}
 		sn := stm.Read(tx, cv.head)
 		if sn == nil {
 			return
 		}
-		stm.Write(tx, cv.head, nil)
-		stm.Write(tx, cv.tail, nil)
+		// Per-attempt collections: a retried attempt rebuilds them from
+		// its own consistent snapshot, and the commit handler closes over
+		// exactly the attempt that committed.
+		var nodes []*Node
+		var gens []uint64
 		// Every next-link access happens inside the transaction
 		// (Section 3.3's race-freedom argument).
-		for sn != nil {
-			cv.notifyPost(tx, sn)
+		for sn != nil && (max < 0 || count < max) {
+			if cv.opts.ImmediatePost {
+				cv.notifyPost(tx, sn)
+			} else {
+				// Attempt-buffered: an aborted attempt's notify leaves no
+				// trace. The node's incarnation is captured at dequeue so
+				// the committed batch can detect recycling (ABA), same as
+				// the single-node path.
+				tx.Trace(obs.EvCVNotify, int64(sn.id), 0)
+				nodes = append(nodes, sn)
+				gens = append(gens, sn.gen.Load())
+			}
 			count++
 			sn = stm.Read(tx, sn.next)
+		}
+		stm.Write(tx, cv.head, sn)
+		if sn == nil {
+			stm.Write(tx, cv.tail, nil)
+		}
+		if len(nodes) > 0 {
+			tx.OnCommit(func() { cv.wakeCommitted(nodes, gens) })
 		}
 	}
 	if tx != nil {
@@ -700,11 +870,46 @@ func (cv *CondVar) NotifyAll(tx *stm.Tx) int {
 	} else {
 		cv.e.MustAtomic(body)
 	}
+	return count
+}
+
+// NotifyAll is Algorithm 6: dequeue every waiter and schedule all their
+// wake-ups. It returns the number of waiters notified.
+//
+// The wake-ups are batched: one commit handler dequeues the whole set
+// and unparks it via chained hand-off (see wakeCommitted), so the
+// committing transaction is no longer a serial wake loop over N
+// semaphore posts. Options.WakeFanout paces the chains;
+// Options.SerialWake restores the legacy loop.
+func (cv *CondVar) NotifyAll(tx *stm.Tx) int {
+	count := cv.notifyBatch(tx, -1)
 	if cv.st != nil {
 		if count > 0 {
 			cv.st.NotifyAlls.Inc()
 			cv.st.Woken.Add(int64(count))
 			cv.st.MaxQueue.Observe(int64(count))
+		} else {
+			cv.st.NotifyEmpty.Inc()
+		}
+	}
+	return count
+}
+
+// NotifyN dequeues and wakes at most max waiters (in queue order) as one
+// batch, leaving the rest enqueued — a paced partial broadcast for
+// callers that know how much new capacity a state change created (e.g.
+// a task queue that just received k items). It returns the number of
+// waiters notified. NotifyN(tx, -1) behaves as NotifyAll without the
+// max-queue observation; max == 0 is a no-op.
+func (cv *CondVar) NotifyN(tx *stm.Tx, max int) int {
+	if max == 0 {
+		return 0
+	}
+	count := cv.notifyBatch(tx, max)
+	if cv.st != nil {
+		if count > 0 {
+			cv.st.NotifyAlls.Inc()
+			cv.st.Woken.Add(int64(count))
 		} else {
 			cv.st.NotifyEmpty.Inc()
 		}

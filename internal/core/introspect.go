@@ -48,6 +48,7 @@ func (s *CVStats) scalars() []cvScalar {
 		{"max_queue", "deepest queue observed by a notifier", registry.KindGauge, s.MaxQueue.Load},
 		{"sem_posts", "node semaphore posts", registry.KindCounter, s.Sem.Posts.Load},
 		{"sem_blocks", "node semaphore waits that descheduled", registry.KindCounter, s.Sem.Blocks.Load},
+		{"sem_spin_waits", "node semaphore waits satisfied while spinning", registry.KindCounter, s.Sem.SpinWaits.Load},
 	}
 }
 
@@ -63,6 +64,8 @@ func (s *CVStats) histograms() []cvHist {
 		{"enqueue_to_notify_ns", "enqueue to the notifier's committed post", &s.EnqueueToNotify},
 		{"notify_to_wake_ns", "committed post to the waiter resuming", &s.NotifyToWake},
 		{"queue_depth", "committed queue depth seen at each dequeue", &s.QueueDepth},
+		{"wake_batch", "waiters dequeued per committed notify batch", &s.WakeBatch},
+		{"broadcast_ns", "notify-batch commit to last waiter resumed", &s.BroadcastNanos},
 		{"sem_park_ns", "park duration of descheduled waits", &s.Sem.ParkNanos},
 	}
 }

@@ -16,11 +16,12 @@ import (
 // the TMStats test in internal/stm).
 var cvSnapshotKeys = []string{
 	"cancels", "max_queue", "notify_alls", "notify_empty", "notify_ones",
-	"sem_blocks", "sem_posts", "timeouts", "waits", "woken",
+	"sem_blocks", "sem_posts", "sem_spin_waits", "timeouts", "waits", "woken",
 }
 
 var cvHistogramKeys = []string{
-	"enqueue_to_notify_ns", "notify_to_wake_ns", "queue_depth", "sem_park_ns",
+	"broadcast_ns", "enqueue_to_notify_ns", "notify_to_wake_ns",
+	"queue_depth", "sem_park_ns", "wake_batch",
 }
 
 func TestCVStatsSnapshotStableAndComplete(t *testing.T) {
@@ -36,7 +37,8 @@ func TestCVStatsSnapshotStableAndComplete(t *testing.T) {
 	}
 
 	// Completeness: every direct scalar instrument field of CVStats must
-	// appear, plus the two sem.Stats aggregates the snapshot carries.
+	// appear, plus the three sem.Stats aggregates the snapshot carries
+	// (posts, blocks, spin waits).
 	direct := 0
 	typ := reflect.TypeOf(CVStats{})
 	for i := 0; i < typ.NumField(); i++ {
@@ -45,8 +47,8 @@ func TestCVStatsSnapshotStableAndComplete(t *testing.T) {
 			direct++
 		}
 	}
-	if want := direct + 2; len(snap) != want {
-		t.Errorf("Snapshot has %d keys, want %d (%d direct fields + 2 sem aggregates) — a field is missing from the introspect.go table", len(snap), want, direct)
+	if want := direct + 3; len(snap) != want {
+		t.Errorf("Snapshot has %d keys, want %d (%d direct fields + 3 sem aggregates) — a field is missing from the introspect.go table", len(snap), want, direct)
 	}
 
 	hist := s.Histograms()

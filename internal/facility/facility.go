@@ -37,6 +37,10 @@ import (
 type Cond interface {
 	Wait(m *syncx.Mutex)
 	Signal()
+	// SignalN wakes up to n waiters. The TM condvar dequeues them as one
+	// batch (a single transaction + chained hand-off); the baseline
+	// signals serially.
+	SignalN(n int)
 	Broadcast()
 }
 

@@ -17,6 +17,11 @@ import (
 type TaskQueue interface {
 	// Submit enqueues a task. Must not be called after Close.
 	Submit(task func())
+	// SubmitBatch enqueues several tasks at once — one critical section
+	// (or one transaction) and one paced wake batch of up to len(tasks)
+	// workers, instead of len(tasks) separate submit/signal rounds. Must
+	// not be called after Close.
+	SubmitBatch(tasks []func())
 	// Drain blocks until every previously submitted task has finished
 	// executing.
 	Drain()
@@ -71,6 +76,17 @@ func (q *lockTaskQueue) Submit(task func()) {
 	q.tasks = append(q.tasks, task)
 	q.pending++
 	q.workAvail.Signal()
+	q.mu.Unlock()
+}
+
+func (q *lockTaskQueue) SubmitBatch(tasks []func()) {
+	if len(tasks) == 0 {
+		return
+	}
+	q.mu.Lock()
+	q.tasks = append(q.tasks, tasks...)
+	q.pending += len(tasks)
+	q.workAvail.SignalN(len(tasks))
 	q.mu.Unlock()
 }
 
@@ -176,6 +192,22 @@ func (q *txnTaskQueue) Submit(task func()) {
 		stm.Write(tx, q.tasks, append(nts, task))
 		stm.Write(tx, q.pending, stm.Read(tx, q.pending)+1)
 		q.workAvail.NotifyOne(tx)
+	})
+}
+
+func (q *txnTaskQueue) SubmitBatch(tasks []func()) {
+	if len(tasks) == 0 {
+		return
+	}
+	q.e.MustAtomic(func(tx *stm.Tx) {
+		ts := stm.Read(tx, q.tasks)
+		nts := make([]func(), len(ts), len(ts)+len(tasks))
+		copy(nts, ts)
+		stm.Write(tx, q.tasks, append(nts, tasks...))
+		stm.Write(tx, q.pending, stm.Read(tx, q.pending)+len(tasks))
+		// One paced wake batch for the whole submission: up to
+		// len(tasks) workers dequeue together at commit.
+		q.workAvail.NotifyN(tx, len(tasks))
 	})
 }
 

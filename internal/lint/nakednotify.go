@@ -40,8 +40,10 @@ var AnalyzerNakedNotify = &Analyzer{
 var notifyMethodNames = map[string]bool{
 	"NotifyOne":  true,
 	"NotifyAll":  true,
+	"NotifyN":    true,
 	"NotifyBest": true,
 	"Signal":     true,
+	"SignalN":    true,
 	"Broadcast":  true,
 }
 

@@ -35,6 +35,23 @@ func goodModify(e *stm.Engine, cv *core.CondVar, v *stm.Var[int]) {
 	})
 }
 
+// The batched entry point is a notify like any other: naked NotifyN is
+// flagged, NotifyN after a write is clean.
+func badNotifyN(e *stm.Engine, cv *core.CondVar, v *stm.Var[int]) {
+	e.MustAtomic(func(tx *stm.Tx) {
+		if stm.Read(tx, v) > 0 {
+			cv.NotifyN(tx, 4) // want "no preceding"
+		}
+	})
+}
+
+func goodNotifyN(e *stm.Engine, cv *core.CondVar, v *stm.Var[int]) {
+	e.MustAtomic(func(tx *stm.Tx) {
+		stm.Write(tx, v, 4)
+		cv.NotifyN(tx, 4)
+	})
+}
+
 type queue struct{ n int }
 
 // Lock-based users keep predicate state in plain fields; a preceding

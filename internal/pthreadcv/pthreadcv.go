@@ -200,6 +200,15 @@ func (c *Cond) Signal() {
 	}
 }
 
+// SignalN wakes up to n waiters, one Signal at a time. The baseline has
+// no batched wake path — serial signalling is exactly what the TM
+// condvar's chained hand-off is compared against.
+func (c *Cond) SignalN(n int) {
+	for i := 0; i < n; i++ {
+		c.Signal()
+	}
+}
+
 // Broadcast wakes every parked waiter (the oblivious wake-up of Section
 // 3.4: all of them, regardless of predicate).
 func (c *Cond) Broadcast() {

@@ -60,7 +60,7 @@ func TestWaiterAges(t *testing.T) {
 // same discipline parkEnd applies to the park histogram.
 func TestWaiterAgeClamped(t *testing.T) {
 	s := NewBinary()
-	w := &waiter{ch: make(chan struct{}, 1)}
+	w := &waiter{ch: make(chan wake, 1)}
 	s.mu.lock()
 	s.enqueueLocked(w)
 	w.parkedAt = time.Now().Add(time.Hour) // hostile: park "begins" in the future

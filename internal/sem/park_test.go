@@ -79,12 +79,15 @@ func TestParkTimeout(t *testing.T) {
 	}
 }
 
-// Without a stats sink or tracer, the blocked path must skip timestamping
-// entirely (parkStart returns the zero time).
+// Without a stats sink or tracer, parkStart still stamps a time — the
+// spin-budget tuner needs the hand-off latency regardless of
+// instrumentation — but parkEnd must not observe anything, and a zero
+// t0 stays a safe no-op.
 func TestParkUninstrumentedNoClock(t *testing.T) {
 	s := NewBinary()
-	if t0 := s.parkStart(); !t0.IsZero() {
-		t.Fatal("parkStart stamped a time with no sink attached")
+	if t0 := s.parkStart(); t0.IsZero() {
+		t.Fatal("parkStart returned the zero time; the spin tuner needs a stamp")
 	}
-	s.parkEnd(time.Time{}) // must be a no-op, not a panic
+	s.parkEnd(time.Time{})   // zero t0: must be a no-op, not a panic
+	s.parkEnd(s.parkStart()) // no sink: must observe nothing
 }

@@ -26,6 +26,8 @@ package sem
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fault"
@@ -40,18 +42,31 @@ type Stats struct {
 	Waits     stats.Counter // total completed Wait/TryWait-success operations
 	FastWaits stats.Counter // Waits satisfied without blocking
 	Blocks    stats.Counter // Waits that had to deschedule the caller
+	SpinWaits stats.Counter // Waits satisfied during the bounded spin phase (no park)
 	Timeouts  stats.Counter // WaitTimeout expirations
 	Cancels   stats.Counter // WaitCtx cancellations
 
 	// ParkNanos distributes the park duration of Waits that had to
-	// deschedule the caller (fast-path Waits are not observed).
+	// deschedule the caller (fast-path and spin-phase Waits are not
+	// observed).
 	ParkNanos obs.Histogram
+}
+
+// wake is the value a parked waiter receives from its hand-off channel.
+// A plain Post carries the zero value; a batched PostN/PostAll carries
+// the head of the remaining detached chain, which the receiver must
+// unpark before doing anything else (chained hand-off: the notifier pays
+// for one wake-up, each woken waiter pays for the next, so a broadcast
+// over N waiters is not N serial channel sends on the notifier's
+// goroutine).
+type wake struct {
+	next *waiter
 }
 
 // waiter is one parked goroutine. The channel has capacity 1 so that a
 // poster never blocks handing over a permit.
 type waiter struct {
-	ch   chan struct{}
+	ch   chan wake
 	next *waiter
 
 	// parkedAt is the monotonic park-start timestamp, stamped under the
@@ -60,6 +75,20 @@ type waiter struct {
 	// /debug/cv/waiters.
 	parkedAt time.Time
 }
+
+// Spin-then-park tuning bounds (Dice & Kogan, "Semaphores Augmented
+// with a Waiting Array": a bounded optimistic spin before the park
+// removes the kernel round-trip when hand-offs are fast, and must decay
+// to pure parking when they are not).
+const (
+	// spinLimit caps the adaptive spin budget (poll iterations with a
+	// Gosched between them — cooperative, never a hard busy loop).
+	spinLimit = 128
+	// spinParkThreshold is the park latency under which a hand-off is
+	// considered "fast": parks shorter than this grow the spin budget,
+	// longer ones shrink it.
+	spinParkThreshold = 50 * time.Microsecond
+)
 
 // Sem is a counting semaphore. The zero value is a semaphore with zero
 // permits; use New to start with an initial count.
@@ -75,6 +104,13 @@ type Sem struct {
 
 	// FIFO list of parked waiters.
 	head, tail *waiter
+
+	// spin is the adaptive spin budget: how many channel polls Wait
+	// attempts before descheduling. Zero (the zero value) means park
+	// immediately; the budget grows only on evidence of fast hand-offs
+	// and decays back when parks run long, so an idle or slow semaphore
+	// never busy-waits.
+	spin atomic.Int32
 
 	st *Stats
 
@@ -131,19 +167,16 @@ func (s *Sem) faultAt(p fault.Point) {
 
 // parkStart stamps the beginning of a descheduled Wait, emitting the park
 // event if tracing and labeling the goroutine with its condvar lane when
-// introspection asked for it. It returns the zero time when neither
-// stats nor tracing need the timestamp, which parkEnd treats as "don't
-// observe". The label gate is one atomic load when off.
+// introspection asked for it. The timestamp always carries a value now:
+// besides feeding parkEnd's histogram it drives the spin-budget tuner,
+// which needs the hand-off latency even when no stats sink is attached.
+// The label gate is one atomic load when off.
 func (s *Sem) parkStart() time.Time {
 	if obs.ParkLabelsEnabled() {
 		labelParked(s.lane)
 	}
-	traced := s.tr.Enabled()
-	if s.st == nil && !traced {
-		return time.Time{}
-	}
 	t0 := time.Now()
-	if traced {
+	if s.tr.Enabled() {
 		s.tr.Emit(s.lane, obs.EvSemPark, 0, 0)
 	}
 	return t0
@@ -172,6 +205,52 @@ func (s *Sem) parkEnd(t0 time.Time) {
 	}
 }
 
+// handoff unparks a detached waiter, passing it the rest of its detached
+// chain. The send cannot block (capacity 1, one permit per waiter) and
+// the next link is cleared first so the woken goroutine's waiter struct
+// retains nothing once it resumes. Callers must not hold the semaphore
+// lock merely for ordering — the links were written under it, and the
+// channel send publishes them to the receiver.
+func handoff(w *waiter) {
+	nx := w.next
+	w.next = nil
+	w.ch <- wake{next: nx}
+}
+
+// forward continues a chained hand-off: a waiter that consumed a wake
+// signal carrying a successor unparks that successor before doing
+// anything else, so the chain's critical path is one channel round-trip
+// per hop regardless of who started it. Every path that consumes from
+// w.ch (including timeout/cancel losers that keep the permit) must call
+// forward, or the rest of the chain sleeps forever.
+func forward(sig wake) {
+	if sig.next != nil {
+		handoff(sig.next)
+	}
+}
+
+// detachLocked removes up to n waiters from the head of the FIFO list,
+// preserving their intra-batch next links, and cuts the last link into
+// the remaining queue. It returns the batch head and the number of
+// waiters detached.
+func (s *Sem) detachLocked(n int) (*waiter, int) {
+	if n <= 0 || s.head == nil {
+		return nil, 0
+	}
+	head := s.head
+	last, cnt := head, 1
+	for cnt < n && last.next != nil {
+		last = last.next
+		cnt++
+	}
+	s.head = last.next
+	if s.head == nil {
+		s.tail = nil
+	}
+	last.next = nil
+	return head, cnt
+}
+
 // Post makes one permit available. If a goroutine is blocked in Wait, the
 // longest-waiting one receives the permit directly and becomes runnable;
 // otherwise the permit is banked for a future Wait.
@@ -183,32 +262,144 @@ func (s *Sem) Post() {
 	// the notify→wake window.
 	s.faultAt(fault.SemPost)
 	s.mu.lock()
-	if w := s.head; w != nil {
-		s.head = w.next
-		if s.head == nil {
-			s.tail = nil
-		}
-		s.mu.unlock()
-		w.ch <- struct{}{} // capacity 1: cannot block
-	} else {
+	w, cnt := s.detachLocked(1)
+	if cnt == 0 {
 		s.count++
-		s.mu.unlock()
+	}
+	s.mu.unlock()
+	if w != nil {
+		handoff(w)
 	}
 	if s.st != nil {
 		s.st.Posts.Inc()
 	}
 }
 
-// PostN posts n permits. Equivalent to n calls of Post but takes the
-// internal lock once per handed-off waiter batch.
-func (s *Sem) PostN(n int) {
-	for i := 0; i < n; i++ {
-		s.Post()
+// postFanout is the number of hand-off chains a batched post starts when
+// the runtime has parallelism for them to propagate on. It mirrors
+// core.DefaultWakeFanout one layer down.
+const postFanout = 8
+
+// scatter unparks a detached FIFO batch of cnt waiters. When the
+// scheduler has parallelism (GOMAXPROCS > 1) and the batch is wide, the
+// batch is cut into up to postFanout contiguous chains and only the
+// chain heads are posted here — each woken waiter unparks its successor,
+// so the wake wave spreads across the running CPUs instead of
+// serializing on the poster. Chained hand-off trades poster-side posts
+// for wake-to-wake scheduling hops; with a single P there is no
+// parallelism to win the hops back, so the degenerate case posts every
+// waiter directly (still under the single batch lock acquisition).
+func scatter(head *waiter, cnt int) {
+	f := cnt
+	if runtime.GOMAXPROCS(0) > 1 && cnt > postFanout {
+		f = postFanout
 	}
+	if f >= cnt {
+		for w := head; w != nil; {
+			nx := w.next
+			w.next = nil
+			w.ch <- wake{}
+			w = nx
+		}
+		return
+	}
+	seg := (cnt + f - 1) / f
+	for w := head; w != nil; {
+		h := w
+		for i := 1; i < seg && w.next != nil; i++ {
+			w = w.next
+		}
+		nx := w.next
+		w.next = nil
+		w = nx
+		handoff(h)
+	}
+}
+
+// PostN posts n permits. Equivalent to n calls of Post but takes the
+// internal lock once per handed-off waiter batch and draws the
+// fault.SemPost hook once per batch: up to n parked waiters are detached
+// in FIFO order under a single lock acquisition and unparked via scatter
+// (chained hand-off when the runtime is parallel enough to profit), and
+// any permits left over are banked.
+func (s *Sem) PostN(n int) {
+	if n <= 0 {
+		return
+	}
+	s.faultAt(fault.SemPost)
+	s.mu.lock()
+	head, cnt := s.detachLocked(n)
+	s.count += int64(n - cnt)
+	s.mu.unlock()
+	if head != nil {
+		scatter(head, cnt)
+	}
+	if s.st != nil {
+		s.st.Posts.Add(int64(n))
+	}
+}
+
+// PostAll unparks every currently blocked waiter in a single batched
+// hand-off and reports how many there were. Unlike PostN it banks
+// nothing: a semaphore with no waiters is left untouched. This is the
+// broadcast primitive the condvar's batched NotifyAll rides on.
+func (s *Sem) PostAll() int {
+	s.faultAt(fault.SemPost)
+	s.mu.lock()
+	head, cnt := s.detachLocked(int(^uint(0) >> 1))
+	s.mu.unlock()
+	if head != nil {
+		scatter(head, cnt)
+	}
+	if s.st != nil && cnt > 0 {
+		s.st.Posts.Add(int64(cnt))
+	}
+	return cnt
+}
+
+// spinWait polls w.ch for up to budget iterations, yielding the
+// processor between polls, and reports whether a wake signal arrived
+// during the spin. The yield keeps the spin cooperative: with more
+// goroutines than OS threads the poster still gets scheduled, so this
+// never degenerates into a livelocked busy-wait.
+func spinWait(w *waiter, budget int32) (wake, bool) {
+	for i := int32(0); i < budget; i++ {
+		select {
+		case sig := <-w.ch:
+			return sig, true
+		default:
+		}
+		runtime.Gosched()
+	}
+	return wake{}, false
+}
+
+// tuneSpin adapts the spin budget to the hand-off latency a real park
+// just observed: fast hand-offs (poster arrived almost immediately) grow
+// the budget so the next Wait can catch the permit without descheduling;
+// slow ones shrink it toward zero so an idle semaphore parks outright.
+func (s *Sem) tuneSpin(parked time.Duration) {
+	b := s.spin.Load()
+	if parked >= 0 && parked < spinParkThreshold {
+		b = b*2 + 8
+		if b > spinLimit {
+			b = spinLimit
+		}
+	} else {
+		b /= 2
+	}
+	s.spin.Store(b)
 }
 
 // Wait acquires one permit, descheduling the caller until one is
 // available. Permits are delivered in FIFO order among blocked waiters.
+//
+// Before descheduling, Wait optimistically polls its hand-off channel
+// for a bounded, adaptively tuned number of iterations (spin-then-park):
+// when recent hand-offs have been fast the permit usually lands during
+// the spin and the park/unpark round-trip is skipped entirely. The
+// budget starts at zero and decays on slow hand-offs, so a semaphore
+// nobody posts to never busy-waits.
 func (s *Sem) Wait() {
 	s.mu.lock()
 	if s.count > 0 {
@@ -220,19 +411,31 @@ func (s *Sem) Wait() {
 		}
 		return
 	}
-	w := &waiter{ch: make(chan struct{}, 1)}
+	w := &waiter{ch: make(chan wake, 1)}
 	s.enqueueLocked(w)
 	s.mu.unlock()
-	if s.st != nil {
-		s.st.Blocks.Inc()
-	}
 	// Fault hook: stall between publishing ourselves as a waiter and
 	// descheduling — a Post landing in this window must be memorized in
 	// the handoff channel, never lost.
 	s.faultAt(fault.SemPark)
+	if budget := s.spin.Load(); budget > 0 {
+		if sig, ok := spinWait(w, budget); ok {
+			forward(sig)
+			if s.st != nil {
+				s.st.SpinWaits.Inc()
+				s.st.Waits.Inc()
+			}
+			return
+		}
+	}
+	if s.st != nil {
+		s.st.Blocks.Inc()
+	}
 	t0 := s.parkStart()
-	<-w.ch
+	sig := <-w.ch
+	forward(sig)
 	s.parkEnd(t0)
+	s.tuneSpin(time.Since(t0))
 	if s.st != nil {
 		s.st.Waits.Inc()
 	}
@@ -282,7 +485,7 @@ func (s *Sem) WaitTimeout(d time.Duration) bool {
 		}
 		return true
 	}
-	w := &waiter{ch: make(chan struct{}, 1)}
+	w := &waiter{ch: make(chan wake, 1)}
 	s.enqueueLocked(w)
 	s.mu.unlock()
 	if s.st != nil {
@@ -294,7 +497,8 @@ func (s *Sem) WaitTimeout(d time.Duration) bool {
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
-	case <-w.ch:
+	case sig := <-w.ch:
+		forward(sig)
 		s.parkEnd(t0)
 		if s.st != nil {
 			s.st.Waits.Inc()
@@ -316,8 +520,8 @@ func (s *Sem) WaitTimeout(d time.Duration) bool {
 	}
 	s.mu.unlock()
 	// We were already dequeued by a Post: the permit is (or will be) in
-	// the channel. Take it.
-	<-w.ch
+	// the channel. Take it — and keep any hand-off chain moving.
+	forward(<-w.ch)
 	s.parkEnd(t0)
 	if s.st != nil {
 		s.st.Waits.Inc()
@@ -350,7 +554,7 @@ func (s *Sem) WaitCtx(ctx context.Context) bool {
 		}
 		return false
 	}
-	w := &waiter{ch: make(chan struct{}, 1)}
+	w := &waiter{ch: make(chan wake, 1)}
 	s.enqueueLocked(w)
 	s.mu.unlock()
 	if s.st != nil {
@@ -360,7 +564,8 @@ func (s *Sem) WaitCtx(ctx context.Context) bool {
 	t0 := s.parkStart()
 
 	select {
-	case <-w.ch:
+	case sig := <-w.ch:
+		forward(sig)
 		s.parkEnd(t0)
 		if s.st != nil {
 			s.st.Waits.Inc()
@@ -382,8 +587,9 @@ func (s *Sem) WaitCtx(ctx context.Context) bool {
 	}
 	s.mu.unlock()
 	// We lost the race to a Post: the permit is (or will be) in the
-	// channel. Take it — the notification wins over the cancellation.
-	<-w.ch
+	// channel. Take it — the notification wins over the cancellation —
+	// and keep any hand-off chain moving.
+	forward(<-w.ch)
 	s.parkEnd(t0)
 	if s.st != nil {
 		s.st.Waits.Inc()

@@ -48,20 +48,91 @@ func TestBackoffEnvelope(t *testing.T) {
 }
 
 // TestBackoffWidensUnderDegradation: the watchdog's health level shifts
-// the whole envelope wider (4x per level).
+// the envelope wider (4x per level) *below* the cap, and BackoffMax
+// remains a hard ceiling at every degradation level — a degraded engine
+// reaches the cap sooner, it never sleeps past it.
 func TestBackoffWidensUnderDegradation(t *testing.T) {
 	e := NewEngine(Config{
 		BackoffBase: time.Microsecond,
 		BackoffMax:  100 * time.Microsecond,
 	})
-	healthy := e.backoffDelay(12)
+	// Small attempt: the shift has room under the cap, so each level
+	// multiplies the bound by 4.
+	healthy := e.backoffDelay(3) // 1µs << 3 = 8µs
+	if healthy != 8*time.Microsecond {
+		t.Fatalf("healthy bound = %v, want 8µs", healthy)
+	}
 	e.wd.state.Store(int32(HealthDegraded))
-	if got := e.backoffDelay(12); got != healthy<<2 {
+	if got := e.backoffDelay(3); got != healthy<<2 {
 		t.Fatalf("degraded bound = %v, want %v", got, healthy<<2)
 	}
 	e.wd.state.Store(int32(HealthSerial))
-	if got := e.backoffDelay(12); got != healthy<<4 {
-		t.Fatalf("serial bound = %v, want %v", got, healthy<<4)
+	if got := e.backoffDelay(3); got != 100*time.Microsecond {
+		t.Fatalf("serial bound = %v, want the 100µs cap (8µs<<4 = 128µs clamps)", got)
+	}
+	// Deep attempt: every level is already at the cap; degradation must
+	// not push past it.
+	for _, h := range []Health{HealthHealthy, HealthDegraded, HealthSerial} {
+		e.wd.state.Store(int32(h))
+		if got := e.backoffDelay(12); got != e.cfg.BackoffMax {
+			t.Fatalf("health %v deep bound = %v, want cap %v", h, got, e.cfg.BackoffMax)
+		}
+	}
+}
+
+// TestBackoffDelayEnvelopeTable pins the full clamp/overflow envelope of
+// backoffDelay across base/max/attempt/health combinations, including
+// the giant-base overflow guard.
+func TestBackoffDelayEnvelopeTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		base    time.Duration
+		max     time.Duration
+		health  Health
+		attempt int
+		want    time.Duration
+	}{
+		{"first attempt healthy", time.Microsecond, 100 * time.Microsecond, HealthHealthy, 0, time.Microsecond},
+		{"exponential growth", time.Microsecond, 100 * time.Microsecond, HealthHealthy, 5, 32 * time.Microsecond},
+		{"healthy cap", time.Microsecond, 100 * time.Microsecond, HealthHealthy, 12, 100 * time.Microsecond},
+		{"degraded widens 4x", time.Microsecond, 100 * time.Microsecond, HealthDegraded, 2, 16 * time.Microsecond},
+		{"degraded clamps at max", time.Microsecond, 100 * time.Microsecond, HealthDegraded, 12, 100 * time.Microsecond},
+		{"serial widens 16x", time.Microsecond, 1000 * time.Microsecond, HealthSerial, 2, 64 * time.Microsecond},
+		{"serial clamps at max", time.Microsecond, 100 * time.Microsecond, HealthSerial, 6, 100 * time.Microsecond},
+		{"base at max", 100 * time.Microsecond, 100 * time.Microsecond, HealthSerial, 12, 100 * time.Microsecond},
+		{"base above max", time.Second, 100 * time.Microsecond, HealthHealthy, 0, 100 * time.Microsecond},
+		// A giant base whose pre-cap shift would overflow time.Duration
+		// must still come back as exactly BackoffMax.
+		{"giant base overflow guard", time.Duration(1) << 55, time.Duration(1) << 60, HealthSerial, 12, time.Duration(1) << 60},
+	}
+	for _, tc := range cases {
+		e := NewEngine(Config{BackoffBase: tc.base, BackoffMax: tc.max})
+		e.wd.state.Store(int32(tc.health))
+		if got := e.backoffDelay(tc.attempt); got != tc.want {
+			t.Errorf("%s: backoffDelay(%d) = %v, want %v", tc.name, tc.attempt, got, tc.want)
+		}
+		if got := e.backoffDelay(tc.attempt); got > tc.max && tc.base <= tc.max {
+			t.Errorf("%s: bound %v exceeds BackoffMax %v", tc.name, got, tc.max)
+		}
+	}
+}
+
+// Engines created back-to-back (routinely within the same nanosecond)
+// must not share a jitter seed, or their backoff sleeps collide in
+// lockstep.
+func TestEngineJitterSeedsDistinct(t *testing.T) {
+	const engines = 1000
+	seen := make(map[uint64]int, engines)
+	for i := 0; i < engines; i++ {
+		e := NewEngine(Config{})
+		s := e.rngState.Load()
+		if s == 0 {
+			t.Fatal("engine seeded xorshift with 0 (would stick at 0 forever)")
+		}
+		if j, dup := seen[s]; dup {
+			t.Fatalf("engines %d and %d share rng seed %#x", j, i, s)
+		}
+		seen[s] = i
 	}
 }
 

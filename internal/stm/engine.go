@@ -247,6 +247,11 @@ type Engine struct {
 	Stats TMStats
 }
 
+// engineSeq distinguishes engines created within the same clock tick:
+// without it, engines born in the same nanosecond would seed identical
+// xorshift streams and their backoff jitter would collide in lockstep.
+var engineSeq atomic.Uint64
+
 // NewEngine creates an engine with the given configuration.
 func NewEngine(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
@@ -255,7 +260,11 @@ func NewEngine(cfg Config) *Engine {
 		orecs:    make([]orec, cfg.OrecCount),
 		orecMask: uint64(cfg.OrecCount - 1),
 	}
-	e.rngState.Store(uint64(time.Now().UnixNano())*2 + 1)
+	seed := uint64(time.Now().UnixNano()) ^ (engineSeq.Add(1) * 0x9E3779B97F4A7C15)
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15 // xorshift64 must never start at 0
+	}
+	e.rngState.Store(seed)
 	e.debug.Store(debugDefault)
 	return e
 }
@@ -582,15 +591,26 @@ func (e *Engine) backoff(attempt int) {
 }
 
 // backoffDelay is the pre-jitter delay bound for a retry: exponential in
-// the attempt number from BackoffBase, capped at BackoffMax, then
-// shifted wider by the watchdog's current degradation level. backoff
-// sleeps a uniformly jittered duration in [bound/2, bound].
+// the attempt number from BackoffBase, widened by the watchdog's current
+// degradation level, and capped at BackoffMax. The cap is applied after
+// the degradation shift — BackoffMax is a hard ceiling the watchdog may
+// reach sooner, never exceed — and the combined shift is overflow-guarded
+// for large user-set bases. backoff sleeps a uniformly jittered duration
+// in [bound/2, bound].
 func (e *Engine) backoffDelay(attempt int) time.Duration {
-	d := e.cfg.BackoffBase << uint(min(attempt, 12))
-	if d > e.cfg.BackoffMax {
-		d = e.cfg.BackoffMax
+	bound := e.cfg.BackoffMax
+	d := e.cfg.BackoffBase
+	if d >= bound {
+		return bound
 	}
-	return d << e.backoffShift()
+	shift := uint(min(attempt, 12)) + e.backoffShift()
+	// d < bound here, so d << shift caps out iff shift is huge or
+	// d > bound>>shift; comparing against the down-shifted bound avoids
+	// overflowing d itself.
+	if shift >= 63 || d > bound>>shift {
+		return bound
+	}
+	return d << shift
 }
 
 // nextRand is a lock-free xorshift64 shared by backoff jitter.

@@ -38,6 +38,13 @@ grep -q ' 0 allocs/op' /tmp/obs_bench.$$ || {
 }
 rm -f /tmp/obs_bench.$$
 
+step "broadcast wake smoke (chained hand-off batch over 64+ waiters)"
+# Fixed iteration count, not time-gated: the guard is that a wide
+# NotifyAll batch completes and every waiter resumes (the benchmark
+# b.Fatals on a short wake count), not a host-dependent latency bar.
+go test -run '^$' -bench 'BenchmarkBroadcastWake/w64' -benchtime 5x .
+go test -run '^$' -bench 'BenchmarkSemBatchPost' -benchtime 5x .
+
 step "modelcheck (bounded exhaustive interleavings)"
 go run ./cmd/modelcheck -waiters 2 -notifyone 1
 go run ./cmd/modelcheck -waiters 2 -notifyall 1
