@@ -1,0 +1,82 @@
+// Baselines let a codebase adopt a new analyzer without first fixing
+// every historical finding: -write-baseline records today's findings,
+// -baseline suppresses exactly those, and anything new still fails the
+// run. Entries match on (check, file, message) — deliberately not on
+// line numbers, so unrelated edits that shift code do not resurrect
+// baselined findings.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+type baselineEntry struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+}
+
+type baselineFile struct {
+	Entries []baselineEntry `json:"entries"`
+}
+
+func baselineKey(check, file, msg string) string {
+	return check + "\x00" + filepath.ToSlash(file) + "\x00" + msg
+}
+
+// writeBaseline records diags as the new baseline at path.
+func writeBaseline(path string, diags []lint.Diagnostic) error {
+	bf := baselineFile{Entries: make([]baselineEntry, 0, len(diags))}
+	for _, d := range diags {
+		bf.Entries = append(bf.Entries, baselineEntry{
+			Check:   d.Check,
+			File:    filepath.ToSlash(d.Pos.Filename),
+			Message: d.Msg,
+		})
+	}
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// loadBaseline reads a baseline file into a multiset of match keys: a
+// finding that occurs twice must be baselined twice.
+func loadBaseline(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	set := map[string]int{}
+	for _, e := range bf.Entries {
+		set[baselineKey(e.Check, e.File, e.Message)]++
+	}
+	return set, nil
+}
+
+// filterBaseline drops findings covered by the baseline multiset.
+func filterBaseline(diags []lint.Diagnostic, set map[string]int) []lint.Diagnostic {
+	if len(set) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		k := baselineKey(d.Check, d.Pos.Filename, d.Msg)
+		if set[k] > 0 {
+			set[k]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

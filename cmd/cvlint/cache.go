@@ -1,0 +1,146 @@
+// Finding cache. The interprocedural analyses make per-package cache
+// keys unsound: a function's effect summary can change because a
+// *dependency's* body changed, and the lostwakeup predicate-variable set
+// is collected module-wide, so a package's findings can change without
+// any of its own files changing. The sound unit is the whole loaded
+// world, so the key is a content hash over every Go source file in the
+// module plus everything that shapes the run (analyzer set, flags,
+// targets, cache schema version). A hit replays the recorded findings
+// without parsing or type-checking anything.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// cacheVersion invalidates old entries when the diagnostic format or
+// analyzer semantics change.
+const cacheVersion = "cvlint-cache-v1"
+
+// cacheDir returns the directory for cache entries: $CVLINT_CACHE_DIR if
+// set (tests use this), else <user cache>/cvlint.
+func cacheDir() (string, error) {
+	if d := os.Getenv("CVLINT_CACHE_DIR"); d != "" {
+		return d, nil
+	}
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(base, "cvlint"), nil
+}
+
+// cacheKey hashes the module's source content and the run configuration.
+func cacheKey(modDir string, analyzers []*lint.Analyzer, tests bool, dirs []string) (string, error) {
+	h := sha256.New()
+	fmt.Fprintln(h, cacheVersion)
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(h, strings.Join(names, ","))
+	fmt.Fprintln(h, "tests:", tests)
+	rels := make([]string, 0, len(dirs))
+	for _, d := range dirs {
+		if r, err := filepath.Rel(modDir, d); err == nil {
+			rels = append(rels, filepath.ToSlash(r))
+		} else {
+			rels = append(rels, filepath.ToSlash(d))
+		}
+	}
+	sort.Strings(rels)
+	fmt.Fprintln(h, "targets:", strings.Join(rels, ","))
+
+	// All module sources, testdata/vendor/hidden dirs excluded. _test.go
+	// files are hashed unconditionally: cheaper to over-invalidate than
+	// to track whether -tests pulled them in.
+	err := filepath.WalkDir(modDir, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if p != modDir && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") && name != "go.mod" {
+			return nil
+		}
+		rel, relErr := filepath.Rel(modDir, p)
+		if relErr != nil {
+			rel = p
+		}
+		fmt.Fprintln(h, "file:", filepath.ToSlash(rel))
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		_, err = io.Copy(h, f)
+		f.Close()
+		return err
+	})
+	if err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+type cacheEntry struct {
+	Version     string           `json:"version"`
+	Diagnostics []jsonDiagnostic `json:"diagnostics"`
+}
+
+func cacheLoad(key string) ([]lint.Diagnostic, bool) {
+	dir, err := cacheDir()
+	if err != nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(dir, key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil || e.Version != cacheVersion {
+		return nil, false
+	}
+	diags := make([]lint.Diagnostic, 0, len(e.Diagnostics))
+	for _, jd := range e.Diagnostics {
+		diags = append(diags, lint.Diagnostic{
+			Pos:   token.Position{Filename: filepath.FromSlash(jd.File), Line: jd.Line, Column: jd.Column},
+			Check: jd.Check,
+			Msg:   jd.Message,
+		})
+	}
+	return diags, true
+}
+
+func cacheStore(key string, diags []lint.Diagnostic) error {
+	dir, err := cacheDir()
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.Marshal(cacheEntry{Version: cacheVersion, Diagnostics: toJSONDiagnostics(diags)})
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, key+".json"), data, 0o644)
+}

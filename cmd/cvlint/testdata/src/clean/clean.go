@@ -1,0 +1,11 @@
+// Fixture exercised by the cvlint command tests: a package with no
+// findings, pinning the zero exit status.
+package clean
+
+import "repro/internal/stm"
+
+func deposit(e *stm.Engine, v *stm.Var[int], n int) {
+	e.MustAtomic(func(tx *stm.Tx) {
+		stm.Write(tx, v, stm.Read(tx, v)+n)
+	})
+}

@@ -1,0 +1,18 @@
+// Fixture exercised by the cvlint command tests: two findings with
+// stable positions, so the JSON/SARIF golden files stay meaningful.
+package report
+
+import (
+	"fmt"
+
+	"repro/internal/stm"
+)
+
+var escaped *stm.Tx
+
+func leak(e *stm.Engine) {
+	e.MustAtomic(func(tx *stm.Tx) {
+		fmt.Println("attempt")
+		escaped = tx
+	})
+}

@@ -157,7 +157,14 @@ func (o *txnOrdered[T]) Next() (T, bool) {
 					nl := make([]seqItem[T], 0, len(list)-1)
 					nl = append(nl, list[:i]...)
 					nl = append(nl, list[i+1:]...)
-					stm.Write(tx, b, nl)
+					// Single-consumer contract (see Ordered.Next): the only
+					// goroutine that waits on `arrived` for these cells is
+					// this one, so advancing nextOut can never strand a
+					// *different* parked waiter — the wake it would need
+					// comes from Put(nextOut). With a second consumer this
+					// WOULD be the classic lost chained hand-off (successor
+					// item already parked, nobody left to notify).
+					stm.Write(tx, b, nl) // cvlint:ignore lostwakeup single-consumer contract: no other waiter can be owed a wake
 					stm.Write(tx, o.nextOut, next+1)
 					st = opDone
 					return

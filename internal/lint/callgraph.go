@@ -1,0 +1,130 @@
+// Call-graph construction over the module function index: static calls
+// are resolved during extraction (ssa.go); this file adds the dynamic
+// edges — interface method calls resolved by class-hierarchy analysis
+// (CHA) over every named type in the loaded packages — and the Tarjan
+// SCC condensation the summary fixpoint runs over.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// resolveInterfaceCall returns the module-local concrete methods an
+// interface method call can dispatch to (CHA: every loaded named type
+// implementing the interface contributes its method).
+func (m *Module) resolveInterfaceCall(info *types.Info, call *ast.CallExpr) []*types.Func {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return nil
+	}
+	iface, ok := s.Recv().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	key := types.TypeString(s.Recv(), nil) + "." + sel.Sel.Name
+	if cached, hit := m.chaCache[key]; hit {
+		return cached
+	}
+	var out []*types.Func
+	seen := map[*types.Func]bool{}
+	for _, pkg := range m.pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, isType := scope.Lookup(name).(*types.TypeName)
+			if !isType || tn.IsAlias() {
+				continue
+			}
+			named, isNamed := tn.Type().(*types.Named)
+			if !isNamed || types.IsInterface(named) {
+				continue
+			}
+			ptr := types.NewPointer(named)
+			if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+				continue
+			}
+			obj, _, _ := types.LookupFieldOrMethod(ptr, true, pkg.Types, sel.Sel.Name)
+			if fn, isFn := obj.(*types.Func); isFn && m.facts[fn] != nil && !seen[fn] {
+				seen[fn] = true
+				out = append(out, fn)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	m.chaCache[key] = out
+	return out
+}
+
+// sccs returns the strongly connected components of the call graph in
+// reverse topological order (callees before callers), so one bottom-up
+// pass over the list is the effect fixpoint: within a component, union
+// semantics make a single union of member facts plus external-callee
+// summaries the exact least fixpoint.
+func (m *Module) sccs() [][]*types.Func {
+	type nodeState struct {
+		index, lowlink int
+		onStack        bool
+	}
+	index := 0
+	states := map[*types.Func]*nodeState{}
+	var stack []*types.Func
+	var comps [][]*types.Func
+
+	var strongconnect func(v *types.Func)
+	strongconnect = func(v *types.Func) {
+		st := &nodeState{index: index, lowlink: index, onStack: true}
+		states[v] = st
+		index++
+		stack = append(stack, v)
+		for _, cs := range m.facts[v].calls {
+			for _, w := range cs.callees {
+				if m.facts[w] == nil {
+					continue
+				}
+				ws, visited := states[w]
+				if !visited {
+					strongconnect(w)
+					if states[w].lowlink < st.lowlink {
+						st.lowlink = states[w].lowlink
+					}
+				} else if ws.onStack && ws.index < st.lowlink {
+					st.lowlink = ws.index
+				}
+			}
+		}
+		if st.lowlink == st.index {
+			var comp []*types.Func
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				states[w].onStack = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			comps = append(comps, comp)
+		}
+	}
+
+	// Deterministic iteration order: sort roots by source position.
+	roots := make([]*types.Func, 0, len(m.facts))
+	for fn := range m.facts {
+		roots = append(roots, fn)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Pos() < roots[j].Pos() })
+	for _, fn := range roots {
+		if states[fn] == nil {
+			strongconnect(fn)
+		}
+	}
+	return comps
+}

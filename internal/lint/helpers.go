@@ -202,6 +202,116 @@ func isSyncFacadeMethod(info *types.Info, fd *ast.FuncDecl) bool {
 	return false
 }
 
+// isStmTxRecv reports whether a named receiver is stm.Tx.
+func isStmTxRecv(n *types.Named) bool {
+	return n != nil && n.Obj().Name() == "Tx" && pathIs(n.Obj().Pkg(), stmPathSuffix)
+}
+
+// methodOf returns the named receiver type (through one pointer) and the
+// name of a method object.
+func methodOf(fn *types.Func) (*types.Named, string, bool) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, "", false
+	}
+	n := namedOf(sig.Recv().Type())
+	if n == nil {
+		return nil, "", false
+	}
+	return n, fn.Name(), true
+}
+
+// baseEffect is the effect table for the sanctioned API surface. For a
+// method call recv.name it returns the discipline-level effect (possibly
+// zero) and whether recv is a base type at all. Base-type methods are
+// never descended into: their implementations are the primitive's
+// business (locks, trace emits, deliberate fault windows), not the
+// caller's. In particular the transactional waits (CondVar.WaitTx /
+// WaitAtCommit, and TxCond.Wait forwarding to them) are effect-free by
+// construction — they park only after CommitEarly or inside an OnCommit
+// handler — and fault.Injector methods are effect-free because injected
+// delays are deliberate chaos, not application behavior.
+func baseEffect(recv *types.Named, name string) (Effect, string, bool) {
+	if recv == nil || recv.Obj().Pkg() == nil {
+		return 0, "", false
+	}
+	rn := recv.Obj().Name()
+	pkg := recv.Obj().Pkg()
+	switch {
+	case rn == "Sem" && pathIs(pkg, semPathSuffix):
+		switch name {
+		case "Post", "PostN", "PostAll":
+			return EffSemPost, "sem." + name, true
+		case "Wait", "WaitTimeout", "WaitCtx":
+			return EffBlock, "sem." + name, true
+		}
+		return 0, "", true
+	case rn == "Tracer" && pathIs(pkg, obsPathSuffix):
+		if name == "Emit" || name == "EmitEvent" {
+			return EffTrace, "obs.Tracer." + name, true
+		}
+		return 0, "", true
+	case rn == "Registry" && pathIs(pkg, registryPathSuffix):
+		if strings.HasPrefix(name, "Register") || strings.HasPrefix(name, "Unregister") || strings.HasPrefix(name, "Set") {
+			return EffRegistry, "registry.Registry." + name, true
+		}
+		return 0, "", true
+	case rn == "Engine" && pathIs(pkg, stmPathSuffix):
+		switch name {
+		case "Atomic", "MustAtomic", "AtomicRead", "AtomicRelaxed":
+			return EffNestedAtomic, "Engine." + name, true
+		}
+		if strings.HasPrefix(name, "Register") {
+			return EffRegistry, "Engine." + name, true
+		}
+		return 0, "", true
+	case (rn == "Tx" || rn == "Var") && pathIs(pkg, stmPathSuffix):
+		return 0, "", true
+	case rn == "Injector" && pathIs(pkg, "internal/fault"):
+		return 0, "", true
+	case isCondvarRecv(recv):
+		switch {
+		case notifyMethodNames[name]:
+			return EffNotify, rn + "." + name, true
+		case name == "WaitTx" || name == "WaitAtCommit":
+			return 0, "", true
+		case rn == "TxCond" && name == "Wait":
+			return 0, "", true // forwards to WaitTx: transactional, sanctioned
+		case waitMethodNames[name]:
+			return EffBlock, rn + "." + name, true
+		case strings.HasPrefix(name, "Register") || strings.HasPrefix(name, "Unregister"):
+			return EffRegistry, rn + "." + name, true
+		}
+		return 0, "", true
+	}
+	return 0, "", false
+}
+
+// bodyContainsTxWait reports whether an atomic body literal contains a
+// transactional wait (CondVar.WaitTx / WaitAtCommit / TxCond.Wait) — the
+// marker of a Wait-predicate body.
+func bodyContainsTxWait(info *types.Info, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, name, isM := methodCall(info, call)
+		if !isM || !isCondvarRecv(recv) {
+			return true
+		}
+		if name == "WaitTx" || name == "WaitAtCommit" || (recv.Obj().Name() == "TxCond" && name == "Wait") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
 // isForwardingWrapper reports whether fd's body consists of exactly the
 // flagged call (optionally returned): a facade that only forwards is
 // exempt from caller-obligation checks, because the loop or state change

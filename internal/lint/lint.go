@@ -6,14 +6,20 @@
 // escape their atomic block, side effects must be deferred to commit, and
 // direct (non-transactional) Var access is legal only on privatized data.
 //
-// Five analyzers enforce those disciplines; see their files for the exact
-// rules and the false-positive policy of each:
+// Seven analyzers enforce those disciplines; see their files for the
+// exact rules and the false-positive policy of each:
 //
-//	txescape     *stm.Tx escaping its atomic block
-//	impuretxn    observable side effects inside a transaction body
+//	txescape     *stm.Tx escaping its atomic block (interprocedural)
+//	impuretxn    observable side effects inside a transaction body (interprocedural)
 //	directstore  StoreDirect/LoadDirect mixed with transactional access
 //	waitloop     condvar Wait without an enclosing predicate re-check loop
 //	nakednotify  Notify with no preceding shared-state write
+//	lostwakeup   predicate-variable write with no notify reachable before return
+//	lockorder    blocking operation reachable from an optimistic transaction body
+//
+// The interprocedural analyzers share one substrate: per-function effect
+// summaries converged bottom-up over the call graph's SCC condensation
+// (ssa.go, callgraph.go, summary.go; DESIGN.md §12).
 //
 // A diagnostic can be suppressed by a comment directive on the same line
 // or the line above:
@@ -44,9 +50,13 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Check, d.Msg)
 }
 
-// Pass carries one analyzer's view of one package.
+// Pass carries one analyzer's view of one package. Mod is the
+// whole-module substrate (function index, call graph, effect summaries)
+// the interprocedural analyzers consult; it may be nil when a caller
+// opts out of cross-function analysis.
 type Pass struct {
 	Pkg    *Package
+	Mod    *Module
 	report func(Diagnostic)
 }
 
@@ -74,6 +84,8 @@ func All() []*Analyzer {
 		AnalyzerDirectStore,
 		AnalyzerWaitLoop,
 		AnalyzerNakedNotify,
+		AnalyzerLostWakeup,
+		AnalyzerLockOrder,
 	}
 	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
 	return as
@@ -100,13 +112,15 @@ func ByName(list string) ([]*Analyzer, error) {
 	return out, nil
 }
 
-// Run executes the analyzers over pkg and returns the diagnostics that
+// Run executes the analyzers over pkg — with mod supplying the
+// interprocedural effect summaries — and returns the diagnostics that
 // survive cvlint:ignore filtering, sorted by position.
-func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+func Run(mod *Module, pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
 			Pkg:    pkg,
+			Mod:    mod,
 			report: func(d Diagnostic) { diags = append(diags, d) },
 		}
 		a.Run(pass)
@@ -138,43 +152,64 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 
 var ignoreRE = regexp.MustCompile(`cvlint:ignore\s+([a-z,]+)`)
 
-// filterIgnored drops diagnostics covered by a cvlint:ignore directive. A
-// directive applies to its own source line and to the line below it, so it
-// works both as a trailing comment and as a standalone comment above the
-// flagged statement.
-func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
-	type key struct {
-		file string
-		line int
+// ignoreKey addresses one source line of one file.
+type ignoreKey struct {
+	file string
+	line int
+}
+
+// ignoreIndex maps a source line to the set of check names a
+// cvlint:ignore directive suppresses there.
+type ignoreIndex map[ignoreKey]map[string]bool
+
+// ignoreDirectives builds (once) the package's directive index. A
+// directive applies to its own source line and to the line below it, so
+// it works both as a trailing comment and as a standalone comment above
+// the flagged statement.
+func (p *Package) ignoreDirectives() ignoreIndex {
+	if p.ignores != nil {
+		return p.ignores
 	}
-	ignored := map[key]map[string]bool{}
-	for _, f := range pkg.Files {
+	p.ignores = ignoreIndex{}
+	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				m := ignoreRE.FindStringSubmatch(c.Text)
 				if m == nil {
 					continue
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				checks := map[string]bool{}
-				for _, name := range strings.Split(m[1], ",") {
-					checks[strings.TrimSpace(name)] = true
-				}
+				pos := p.Fset.Position(c.Pos())
 				for _, line := range []int{pos.Line, pos.Line + 1} {
-					k := key{pos.Filename, line}
-					if ignored[k] == nil {
-						ignored[k] = map[string]bool{}
+					k := ignoreKey{pos.Filename, line}
+					if p.ignores[k] == nil {
+						p.ignores[k] = map[string]bool{}
 					}
-					for name := range checks {
-						ignored[k][name] = true
+					for _, name := range strings.Split(m[1], ",") {
+						p.ignores[k][strings.TrimSpace(name)] = true
 					}
 				}
 			}
 		}
 	}
+	return p.ignores
+}
+
+// ignoredAt reports whether a directive at pos suppresses check. The
+// summary extraction uses this to drop a suppressed effect's
+// contribution at its source, so one justified ignore silences every
+// interprocedural report rooted through that line.
+func (p *Package) ignoredAt(pos token.Pos, check string) bool {
+	position := p.Fset.Position(pos)
+	set := p.ignoreDirectives()[ignoreKey{position.Filename, position.Line}]
+	return set != nil && (set[check] || set["all"])
+}
+
+// filterIgnored drops diagnostics covered by a cvlint:ignore directive.
+func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
+	ignored := pkg.ignoreDirectives()
 	var out []Diagnostic
 	for _, d := range diags {
-		set := ignored[key{d.Pos.Filename, d.Pos.Line}]
+		set := ignored[ignoreKey{d.Pos.Filename, d.Pos.Line}]
 		if set != nil && (set[d.Check] || set["all"]) {
 			continue
 		}

@@ -32,6 +32,21 @@ func TestNakedNotify(t *testing.T) {
 	linttest.Run(t, fixture("nakednotify"), lint.AnalyzerNakedNotify)
 }
 
+func TestLostWakeup(t *testing.T) {
+	linttest.Run(t, fixture("lostwakeup"), lint.AnalyzerLostWakeup)
+}
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, fixture("lockorder"), lint.AnalyzerLockOrder)
+}
+
+// TestIgnoreDirective pins the cvlint:ignore directive's edge cases:
+// placement (trailing vs line-above), wrong check names, multi-check
+// directives, partial suppression, and the "all" wildcard.
+func TestIgnoreDirective(t *testing.T) {
+	linttest.Run(t, fixture("ignoredirective"), lint.AnalyzerImpureTxn, lint.AnalyzerTxEscape)
+}
+
 // TestByName pins the analyzer registry: every analyzer is reachable by
 // the name the -checks flag and the ignore directives use.
 func TestByName(t *testing.T) {

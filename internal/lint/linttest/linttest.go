@@ -68,7 +68,8 @@ func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
 		}
 	}
 
-	for _, d := range lint.Run(pkg, analyzers) {
+	mod := lint.NewModule(loader, pkg)
+	for _, d := range lint.Run(mod, pkg, analyzers) {
 		text := fmt.Sprintf("%s: %s", d.Check, d.Msg)
 		found := false
 		for _, w := range wants {

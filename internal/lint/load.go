@@ -27,6 +27,8 @@ type Package struct {
 	// best-effort basis when they are present; the fixture harness treats
 	// them as fatal so testdata stays honest.
 	TypeErrors []error
+
+	ignores ignoreIndex // lazily built cvlint:ignore directive map
 }
 
 // Loader type-checks packages of one module using only the standard
@@ -44,6 +46,7 @@ type Loader struct {
 	std     types.ImporterFrom
 	cache   map[string]*types.Package
 	loading map[string]bool
+	loaded  []*Package // every fully loaded module package, in load order
 }
 
 // NewLoader creates a loader for the module whose go.mod is found in dir or
@@ -71,6 +74,14 @@ func NewLoader(dir string) (*Loader, error) {
 
 // Fset returns the loader's shared file set.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Loaded returns every module package this loader has fully loaded —
+// explicit LoadDir targets and module-local packages pulled in as
+// dependencies. The interprocedural Module is built over this set. A
+// package loaded both as an import and (with tests) as a target appears
+// twice with distinct type objects; each world is internally consistent,
+// and Run's dedupe collapses any twin diagnostics.
+func (l *Loader) Loaded() []*Package { return l.loaded }
 
 func findModule(dir string) (modDir, modPath string, err error) {
 	for d := dir; ; {
@@ -178,6 +189,7 @@ func (l *Loader) load(dir, path string, tests bool) (*Package, error) {
 	}
 	tpkg, _ := conf.Check(path, l.fset, files, pkg.Info)
 	pkg.Types = tpkg
+	l.loaded = append(l.loaded, pkg)
 	return pkg, nil
 }
 

@@ -1,0 +1,126 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// writeTree materializes a map of relative path → file content under a
+// fresh temp root and returns the root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		p := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestExpandPatterns(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"a/a.go":           "package a\n",
+		"a/testdata/t.go":  "package t\n",
+		"a/vendor/v.go":    "package v\n",
+		"a/.hidden/h.go":   "package h\n",
+		"a/_skip/s.go":     "package s\n",
+		"a/inner/inner.go": "package inner\n",
+		"b/README.md":      "no go files here\n",
+		"b/c/c.go":         "package c\n",
+	})
+	abs := func(rels ...string) []string {
+		out := make([]string, len(rels))
+		for i, r := range rels {
+			out[i] = filepath.Join(root, filepath.FromSlash(r))
+		}
+		return out
+	}
+
+	cases := []struct {
+		name     string
+		patterns []string
+		want     []string
+	}{
+		// "..." walks, skipping testdata/vendor/dot/underscore dirs and
+		// directories with no Go files.
+		{"recursive", []string{"./..."}, abs("a", "a/inner", "b/c")},
+		// Empty patterns default to ./...
+		{"default", nil, abs("a", "a/inner", "b/c")},
+		// An explicit directory passes through untouched, even one a
+		// recursive walk would skip.
+		{"explicit testdata", []string{"./a/testdata"}, abs("a/testdata")},
+		// A "..." rooted at a skippable name is not skipped: the base
+		// itself is exempt from the name filter.
+		{"rooted at testdata", []string{"./a/testdata/..."}, abs("a/testdata")},
+		// Duplicates collapse.
+		{"dedupe", []string{"./a", "a/...", "./a"}, abs("a", "a/inner")},
+		// Absolute patterns are honored as-is.
+		{"absolute", []string{filepath.Join(root, "b", "c")}, abs("b/c")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := lint.ExpandPatterns(root, tc.patterns)
+			if err != nil {
+				t.Fatalf("ExpandPatterns(%v): %v", tc.patterns, err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("ExpandPatterns(%v) = %v, want %v", tc.patterns, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestLoadDirBestEffort pins the loader's soft-failure contract: a
+// package that does not type-check still loads — files parsed, partial
+// type info populated — with the errors reported via TypeErrors (the
+// cvlint -debug path prints them). Analysis is best-effort under them.
+func TestLoadDirBestEffort(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.21\n",
+		"p/p.go": "package p\n\nfunc f() int { return undefinedIdent }\n\nfunc g() int { return 7 }\n",
+	})
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if loader.ModPath != "tmpmod" {
+		t.Errorf("ModPath = %q, want tmpmod", loader.ModPath)
+	}
+	pkg, err := loader.LoadDir(filepath.Join(root, "p"))
+	if err != nil {
+		t.Fatalf("LoadDir: %v (soft type errors must not fail the load)", err)
+	}
+	if len(pkg.TypeErrors) == 0 {
+		t.Error("TypeErrors is empty, want the undefinedIdent error recorded")
+	}
+	if pkg.Path != "tmpmod/p" {
+		t.Errorf("Path = %q, want tmpmod/p", pkg.Path)
+	}
+	if len(pkg.Files) != 1 {
+		t.Fatalf("Files = %d, want 1 (parse must survive type errors)", len(pkg.Files))
+	}
+	if pkg.Types == nil || pkg.Info == nil {
+		t.Fatal("Types/Info missing: best-effort analysis needs partial results")
+	}
+	// The healthy declaration is still fully type-checked.
+	if obj := pkg.Types.Scope().Lookup("g"); obj == nil {
+		t.Error("partial type info lacks the well-typed declaration g")
+	}
+}
+
+// TestNewLoaderNoModule pins the failure mode when no go.mod exists
+// above the directory.
+func TestNewLoaderNoModule(t *testing.T) {
+	if _, err := lint.NewLoader(t.TempDir()); err == nil {
+		t.Fatal("NewLoader outside any module: expected error")
+	}
+}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerLockOrder flags blocking operations reachable from inside an
+// optimistic transaction body, through any call chain. An optimistic
+// body holds ownership records while it runs; parking the goroutine in
+// that window (sem.Wait, a lock-based condvar wait, a pool drain)
+// stalls every conflicting transaction and can deadlock outright when
+// the wake-up depends on a transaction that conflicts with this one —
+// the lock-order inversion of *On the Cost of Concurrency in TM*
+// applied to this module's primitives. A nested Engine-level
+// Atomic/MustAtomic is the same hazard in transactional clothing: the
+// inner transaction retries and can fall back to the serial gate while
+// the outer body holds orecs the serial path needs. Flat nesting
+// (tx.Atomic) is the sanctioned form and is never flagged.
+//
+// The analysis is interprocedural (DESIGN.md §12): a blocking operation
+// buried behind helpers is reported at the call site inside the body,
+// with the call path to the blocking site in the message. Code
+// lexically after a tx.CommitEarly() in the body is post-commit and
+// exempt — blocking there is exactly how CondVar.WaitTx itself is
+// built — as are tx.OnCommit/OnAbort handlers and AtomicRelaxed bodies
+// (irrevocable transactions run serially and may block).
+//
+// False-positive policy: the transactional condvar waits (WaitTx,
+// WaitAtCommit, TxCond.Wait) are effect-free by construction and never
+// flagged. Branch-dependent blocking a path-insensitive summary cannot
+// see (e.g. a helper that only blocks when tx == nil) should carry a
+// cvlint:ignore lockorder directive at the blocking site, which
+// suppresses every report rooted through it.
+var AnalyzerLockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "detect blocking operations reachable from optimistic transaction bodies",
+	Run:  runLockOrder,
+}
+
+func runLockOrder(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			lit, kind := atomicBlock(info, call)
+			if lit == nil || kind != atomicOptimistic {
+				return true
+			}
+			checkBodyBlocking(pass, info, lit)
+			return true
+		})
+	}
+}
+
+func checkBodyBlocking(pass *Pass, info *types.Info, body *ast.FuncLit) {
+	bindings := localFuncBindings(info, body.Body)
+	commitEarly := commitEarlyPos(info, body.Body)
+	ast.Inspect(body.Body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if commitEarly.IsValid() && n.Pos() > commitEarly {
+			return false // post-commit tail: parking here is the WaitTx pattern
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if handlerLit(info, call) != nil {
+			return false
+		}
+		if recv, name, isM := methodCall(info, call); isM {
+			if eff, desc, isBase := baseEffect(recv, name); isBase {
+				switch {
+				case eff == EffNestedAtomic:
+					pass.Report(call.Pos(), "lockorder",
+						"nested %s inside an optimistic transaction body: the inner transaction can retry or take the serial gate while the outer holds ownership records — deadlock-prone; use tx.Atomic (flat nesting) or restructure", desc)
+					// The nested literal is its own transaction root: its
+					// contents are checked there, not re-attributed here.
+					return false
+				case eff == EffBlock:
+					pass.Report(call.Pos(), "lockorder",
+						"%s inside an optimistic transaction body parks the goroutine while the attempt holds ownership records: conflicting transactions stall and the wake-up can deadlock against this body's own retry; use CondVar.WaitTx or move the wait outside the block", desc)
+				}
+				return true
+			}
+		}
+		reportBlockingSummary(pass, info, call, bindings)
+		return true
+	})
+}
+
+// reportBlockingSummary consults callee summaries for blocking effects
+// reachable through the call.
+func reportBlockingSummary(pass *Pass, info *types.Info, call *ast.CallExpr, bindings map[types.Object][]*types.Func) {
+	mod := pass.Mod
+	if mod == nil {
+		return
+	}
+	for _, callee := range resolveCallees(mod, info, call, bindings) {
+		if recv, name, isM := methodOf(callee); isM {
+			if eff, desc, isBase := baseEffect(recv, name); isBase {
+				if eff&effBlocking != 0 {
+					pass.Report(call.Pos(), "lockorder",
+						"%s invoked through a method value inside an optimistic transaction body parks the goroutine while the attempt holds ownership records; move the wait outside the block", desc)
+				}
+				continue
+			}
+		}
+		sum := mod.summaryOf(callee)
+		if !sum.Has(effBlocking) {
+			continue
+		}
+		for bit := Effect(1); bit <= sum.Effects; bit <<= 1 {
+			if bit&effBlocking == 0 || sum.Effects&bit == 0 {
+				continue
+			}
+			pass.Report(call.Pos(), "lockorder",
+				"call to %s inside an optimistic transaction body reaches %s: blocking (or starting a nested engine-level transaction) while the attempt holds ownership records can deadlock the retry loop; move it outside the block or behind tx.OnCommit",
+				callee.Name(), mod.effectChain(pass.Pkg.Fset, callee, bit))
+		}
+	}
+}

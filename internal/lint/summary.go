@@ -1,0 +1,246 @@
+// Effect summaries: the bottom-up fixpoint over the call graph's SCC
+// condensation, and the witness-chain reconstruction that turns a
+// propagated effect back into a human-readable call path for
+// diagnostics ("via flushStats → emitAll: obs.Tracer.Emit at
+// stats.go:41").
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Summary is one function's converged effect vector. For each effect the
+// summary keeps one witness origin — a direct site, or the call edge the
+// effect was inherited through.
+type Summary struct {
+	Effects    Effect
+	origins    map[Effect]origin
+	writesVars map[types.Object]origin
+}
+
+// Has reports whether the summary carries any of the effects in mask.
+func (s *Summary) Has(mask Effect) bool { return s != nil && s.Effects&mask != 0 }
+
+// summaryOf returns fn's converged summary, or nil for functions outside
+// the module index (stdlib, bodiless declarations).
+func (m *Module) summaryOf(fn *types.Func) *Summary {
+	if m.summaries == nil {
+		m.computeSummaries()
+	}
+	return m.summaries[fn]
+}
+
+// computeSummaries runs the fixpoint: SCCs arrive callees-first, so each
+// component's summary is the union of its members' direct facts and the
+// already-final summaries of out-of-component callees.
+func (m *Module) computeSummaries() {
+	m.summaries = map[*types.Func]*Summary{}
+	for _, comp := range m.sccs() {
+		inComp := map[*types.Func]bool{}
+		for _, fn := range comp {
+			inComp[fn] = true
+		}
+		sum := &Summary{origins: map[Effect]origin{}, writesVars: map[types.Object]origin{}}
+		// Direct facts first, so witnesses prefer the shortest chain.
+		for _, fn := range comp {
+			ff := m.facts[fn]
+			for eff, origins := range ff.effects {
+				for bit := Effect(1); bit <= eff; bit <<= 1 {
+					if eff&bit == 0 {
+						continue
+					}
+					sum.Effects |= bit
+					if _, have := sum.origins[bit]; !have {
+						sum.origins[bit] = origins[0]
+					}
+				}
+			}
+			for obj, origins := range ff.writesVars {
+				if _, have := sum.writesVars[obj]; !have {
+					sum.writesVars[obj] = origins[0]
+				}
+			}
+		}
+		for _, fn := range comp {
+			for _, cs := range m.facts[fn].calls {
+				for _, callee := range cs.callees {
+					if inComp[callee] {
+						continue // intra-component: already unioned
+					}
+					cd := m.summaries[callee]
+					if cd == nil {
+						continue
+					}
+					for bit := Effect(1); bit <= cd.Effects; bit <<= 1 {
+						if cd.Effects&bit == 0 {
+							continue
+						}
+						sum.Effects |= bit
+						if _, have := sum.origins[bit]; !have {
+							sum.origins[bit] = origin{pos: cs.pos, callee: callee}
+						}
+					}
+					for obj := range cd.writesVars {
+						if _, have := sum.writesVars[obj]; !have {
+							sum.writesVars[obj] = origin{pos: cs.pos, callee: callee, desc: obj.Name()}
+						}
+					}
+				}
+			}
+		}
+		for _, fn := range comp {
+			m.summaries[fn] = sum
+		}
+	}
+}
+
+// effectChain renders the call path from fn down to the witness site of
+// effect bit: "post1 → post2 (sem.Post at testdata/x.go:12)". The fset
+// renders the terminal position. Recursion through a cycle (an SCC whose
+// witness is intra-component) is cut off defensively.
+func (m *Module) effectChain(fset *token.FileSet, fn *types.Func, bit Effect) string {
+	var hops []string
+	seen := map[*types.Func]bool{}
+	cur := fn
+	for range [32]struct{}{} {
+		sum := m.summaryOf(cur)
+		if sum == nil {
+			break
+		}
+		o, ok := sum.origins[bit]
+		if !ok {
+			break
+		}
+		if o.callee == nil {
+			site := o.desc
+			if o.pos.IsValid() {
+				p := m.relPosition(fset, o.pos)
+				site = fmt.Sprintf("%s at %s:%d", o.desc, p.Filename, p.Line)
+			}
+			if len(hops) == 0 {
+				return site
+			}
+			return fmt.Sprintf("%s (%s)", joinArrows(hops), site)
+		}
+		if seen[o.callee] {
+			break
+		}
+		seen[o.callee] = true
+		hops = append(hops, o.callee.Name())
+		cur = o.callee
+	}
+	if len(hops) == 0 {
+		return "a helper call"
+	}
+	return joinArrows(hops)
+}
+
+// writeChain renders the call path to the witness write of obj, in the
+// same format as effectChain.
+func (m *Module) writeChain(fset *token.FileSet, fn *types.Func, obj types.Object) string {
+	var hops []string
+	seen := map[*types.Func]bool{}
+	cur := fn
+	for range [32]struct{}{} {
+		sum := m.summaryOf(cur)
+		if sum == nil {
+			break
+		}
+		o, ok := sum.writesVars[obj]
+		if !ok {
+			break
+		}
+		if o.callee == nil {
+			p := m.relPosition(fset, o.pos)
+			site := fmt.Sprintf("stm.Write(%s) at %s:%d", obj.Name(), p.Filename, p.Line)
+			if len(hops) == 0 {
+				return site
+			}
+			return fmt.Sprintf("%s (%s)", joinArrows(hops), site)
+		}
+		if seen[o.callee] {
+			break
+		}
+		seen[o.callee] = true
+		hops = append(hops, o.callee.Name())
+		cur = o.callee
+	}
+	return joinArrows(hops)
+}
+
+// relPosition renders pos with its filename relative to the module root.
+// Witness positions are embedded in diagnostic *messages* (and from
+// there in baseline files), so they must not vary across checkouts the
+// way absolute paths do.
+func (m *Module) relPosition(fset *token.FileSet, pos token.Pos) token.Position {
+	p := fset.Position(pos)
+	if m.modDir != "" {
+		if rel, err := filepath.Rel(m.modDir, p.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			p.Filename = rel
+		}
+	}
+	return p
+}
+
+func joinArrows(hops []string) string {
+	out := ""
+	for i, h := range hops {
+		if i > 0 {
+			out += " → "
+		}
+		out += h
+	}
+	return out
+}
+
+// predicateVars returns the stm.Var identities (declared variables or
+// struct fields) read by some Wait predicate: an stm.Read in an atomic
+// body that also contains a transactional wait (WaitTx / WaitAtCommit).
+// These are the cells whose writers owe the condvar a notify.
+func (m *Module) predicateVars() map[types.Object][]token.Pos {
+	if m.predVars != nil {
+		return m.predVars
+	}
+	m.predVars = map[types.Object][]token.Pos{}
+	for _, pkg := range m.pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				lit, kind := atomicBlock(info, call)
+				if lit == nil || kind == notAtomic || !bodyContainsTxWait(info, lit) {
+					return true
+				}
+				// Every transactional read in a waiting body is (part
+				// of) the predicate the waiter re-checks.
+				ast.Inspect(lit.Body, func(n ast.Node) bool {
+					rc, isCall := n.(*ast.CallExpr)
+					if !isCall {
+						return true
+					}
+					if pkgPath, name, isPkg := pkgFuncCall(info, rc); isPkg &&
+						pathStrIs(pkgPath, stmPathSuffix) && name == "Read" && len(rc.Args) >= 2 {
+						if obj := varObject(info, rc.Args[1]); obj != nil {
+							m.predVars[obj] = append(m.predVars[obj], rc.Pos())
+						}
+					}
+					return true
+				})
+				return true
+			})
+		}
+	}
+	for obj := range m.predVars {
+		sort.Slice(m.predVars[obj], func(i, j int) bool { return m.predVars[obj][i] < m.predVars[obj][j] })
+	}
+	return m.predVars
+}

@@ -1,0 +1,58 @@
+// Fixture for the cvlint:ignore directive's edge cases: trailing vs
+// line-above placement, a directive naming the wrong check (suppresses
+// nothing), multi-check directives, partial suppression on a line that
+// carries findings from two checks, and the "all" wildcard.
+package ignoredirective
+
+import (
+	"fmt"
+
+	"repro/internal/stm"
+)
+
+var escaped *stm.Tx
+
+// Trailing (end-of-line) placement suppresses the finding on its line.
+func goodTrailing(e *stm.Engine) {
+	e.MustAtomic(func(tx *stm.Tx) {
+		fmt.Println("eol") // cvlint:ignore impuretxn fixture: deliberate effect
+	})
+}
+
+// Standalone placement on the line above suppresses the line below.
+func goodLineAbove(e *stm.Engine) {
+	e.MustAtomic(func(tx *stm.Tx) {
+		// cvlint:ignore impuretxn fixture: deliberate effect
+		fmt.Println("above")
+	})
+}
+
+// A directive naming a different check suppresses nothing: the ignore
+// set is per check name, not per line.
+func badWrongName(e *stm.Engine) {
+	e.MustAtomic(func(tx *stm.Tx) {
+		// cvlint:ignore waitloop names the wrong check
+		fmt.Println("still flagged") // want "fmt.Println"
+	})
+}
+
+// One directive, several checks: both findings on the line are silenced.
+func goodMultiCheck(e *stm.Engine) {
+	e.MustAtomic(func(tx *stm.Tx) {
+		fmt.Println("x"); escaped = tx // cvlint:ignore impuretxn,txescape fixture: both deliberate
+	})
+}
+
+// Naming only one of the line's two findings suppresses only that one.
+func badPartial(e *stm.Engine) {
+	e.MustAtomic(func(tx *stm.Tx) {
+		fmt.Println("y"); escaped = tx // cvlint:ignore impuretxn only the print is sanctioned // want "txescape"
+	})
+}
+
+// "all" silences every check for the line.
+func goodAll(e *stm.Engine) {
+	e.MustAtomic(func(tx *stm.Tx) {
+		fmt.Println("z"); escaped = tx // cvlint:ignore all fixture line
+	})
+}

@@ -1,0 +1,94 @@
+// Fixture for the lostwakeup analyzer: a transaction that writes a
+// variable some Wait predicate reads owes the condvar a notify before
+// it returns — otherwise a parked waiter whose predicate just became
+// true sleeps until an unrelated wake-up, or forever.
+package lostwakeup
+
+import (
+	"repro/internal/core"
+	"repro/internal/stm"
+)
+
+type queue struct {
+	e     *stm.Engine
+	count *stm.Var[int] // the consumer's predicate cell
+	stats *stm.Var[int] // never read by a Wait predicate
+	avail *core.CondVar
+}
+
+// take establishes count as a predicate variable: the body reads it
+// while deciding to park on avail. It re-notifies on hand-off when more
+// items remain, so its own predicate write is exempt (good).
+func (q *queue) take() bool {
+	ok := false
+	for !ok {
+		q.e.MustAtomic(func(tx *stm.Tx) {
+			ok = false
+			n := stm.Read(tx, q.count)
+			if n == 0 {
+				q.avail.WaitTx(tx)
+				return
+			}
+			stm.Write(tx, q.count, n-1)
+			if n > 1 {
+				q.avail.NotifyOne(tx) // chained hand-off
+			}
+			ok = true
+		})
+	}
+	return ok
+}
+
+// bad: makes the waiter's predicate true but never notifies — the
+// classic lost wake-up the paper's discipline exists to prevent.
+func (q *queue) put() {
+	q.e.MustAtomic(func(tx *stm.Tx) {
+		stm.Write(tx, q.count, stm.Read(tx, q.count)+1) // want "transaction writes predicate variable count \(read by the Wait predicate at .*lostwakeup\.go:[0-9]+"
+	})
+}
+
+// bad: the silent write is one helper call down; the writes-predicate-
+// vars summary carries it back to the call site.
+func bump(tx *stm.Tx, q *queue) {
+	stm.Write(tx, q.count, stm.Read(tx, q.count)+1)
+}
+
+func (q *queue) putViaHelper() {
+	q.e.MustAtomic(func(tx *stm.Tx) {
+		bump(tx, q) // want "call to bump writes predicate variable count via stm\.Write\(count\) at"
+	})
+}
+
+// bad: stm.Modify is a write too.
+func (q *queue) putModify() {
+	q.e.MustAtomic(func(tx *stm.Tx) {
+		stm.Modify(tx, q.count, func(n int) int { return n + 1 }) // want "writes predicate variable count"
+	})
+}
+
+// good: the notify lives in a helper; reachability is interprocedural.
+func signalArrival(tx *stm.Tx, q *queue) {
+	q.avail.NotifyOne(tx)
+}
+
+func (q *queue) putThenSignalHelper() {
+	q.e.MustAtomic(func(tx *stm.Tx) {
+		stm.Write(tx, q.count, stm.Read(tx, q.count)+1)
+		signalArrival(tx, q)
+	})
+}
+
+// good: stats is not read by any Wait predicate, so silent writes to it
+// owe nobody a wake-up.
+func (q *queue) recordStat() {
+	q.e.MustAtomic(func(tx *stm.Tx) {
+		stm.Write(tx, q.stats, stm.Read(tx, q.stats)+1)
+	})
+}
+
+// good: a deliberate silent write carries its justification.
+func (q *queue) reset() {
+	q.e.MustAtomic(func(tx *stm.Tx) {
+		stm.Write(tx, q.count, 0) // cvlint:ignore lostwakeup shutdown path: waiters were drained by Close
+	})
+}

@@ -1,0 +1,34 @@
+// Interprocedural cases for txescape: passing a *stm.Tx to a synchronous
+// helper is legal, but if the helper (at any depth) stores it beyond the
+// block, the call site is reported with the path to the escaping store.
+package txescape
+
+import "repro/internal/stm"
+
+var parked *stm.Tx
+
+func stash(tx *stm.Tx) {
+	parked = tx // want "package-level variable parked"
+}
+
+// Every frame that forwards its Tx toward the store is reported: its
+// callers are in danger no matter which frame they enter through.
+func stashDeep(tx *stm.Tx) { stash(tx) } // want "passed to stash, which lets it escape"
+
+func use(tx *stm.Tx) {}
+
+func badHelpers(e *stm.Engine) {
+	e.MustAtomic(func(tx *stm.Tx) {
+		stash(tx)     // want "passed to stash, which lets it escape the atomic block: \*stm\.Tx store to parked at .*interproc\.go:[0-9]+"
+		stashDeep(tx) // want "passed to stashDeep, which lets it escape the atomic block: stash \("
+	})
+}
+
+// good: helpers that only use their Tx synchronously never trip the
+// summary — this is the pattern the intraprocedural check could not
+// distinguish from an escape.
+func goodHelper(e *stm.Engine) {
+	e.MustAtomic(func(tx *stm.Tx) {
+		use(tx)
+	})
+}

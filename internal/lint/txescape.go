@@ -16,12 +16,18 @@ import (
 //   - launching a goroutine that receives a Tx as an argument or captures
 //     one from an enclosing scope.
 //
-// False-positive policy: passing a Tx to an ordinary (synchronous) helper
-// call is legal and never flagged; only stores to memory that outlives the
-// block and goroutine hand-offs are reported.
+// The analysis is interprocedural: passing a Tx to an ordinary
+// (synchronous) helper is legal — but if that helper (or anything it
+// calls, at any depth) stores the Tx beyond the block, the call site is
+// reported too, with the call path to the escaping store in the message.
+// The effect summary behind this is DESIGN.md §12's EffStoreTx bit.
+//
+// False-positive policy: only stores to memory that outlives the block
+// and goroutine hand-offs are reported; a helper that merely uses its Tx
+// synchronously is never flagged.
 var AnalyzerTxEscape = &Analyzer{
 	Name: "txescape",
-	Doc:  "detect *stm.Tx values escaping their atomic block",
+	Doc:  "detect *stm.Tx values escaping their atomic block (interprocedural)",
 	Run:  runTxEscape,
 }
 
@@ -30,6 +36,8 @@ func runTxEscape(pass *Pass) {
 	for _, f := range pass.Pkg.Files {
 		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
 			switch n := n.(type) {
+			case *ast.CallExpr:
+				reportTxEscapeSummary(pass, info, n)
 			case *ast.AssignStmt:
 				for i, rhs := range n.Rhs {
 					if i >= len(n.Lhs) {
@@ -64,6 +72,33 @@ func runTxEscape(pass *Pass) {
 			}
 			return true
 		})
+	}
+}
+
+// reportTxEscapeSummary flags a call that passes a *stm.Tx to a helper
+// whose effect summary says it (or something it calls) stores the Tx
+// beyond the block.
+func reportTxEscapeSummary(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	mod := pass.Mod
+	if mod == nil {
+		return
+	}
+	passesTx := false
+	for _, arg := range call.Args {
+		if isStmTx(info.TypeOf(arg)) {
+			passesTx = true
+			break
+		}
+	}
+	if !passesTx {
+		return
+	}
+	for _, callee := range resolveCallees(mod, info, call, nil) {
+		if sum := mod.summaryOf(callee); sum.Has(EffStoreTx) {
+			pass.Report(call.Pos(), "txescape",
+				"*stm.Tx passed to %s, which lets it escape the atomic block: %s",
+				callee.Name(), mod.effectChain(pass.Pkg.Fset, callee, EffStoreTx))
+		}
 	}
 }
 
