@@ -1,0 +1,92 @@
+// Command benchdiff compares two benchmark trajectory documents (the
+// BENCH_*.json files `parsecbench -sweep` writes) and fails on
+// regressions, making the committed trajectory a gate instead of a
+// souvenir.
+//
+// Usage:
+//
+//	benchdiff [-threshold F] OLD.json NEW.json
+//	benchdiff -check FILE.json...
+//
+// In compare mode it prints a per-metric delta table for every
+// (benchmark, system, procs) point present in both documents and exits
+// 1 naming each metric that worsened by more than -threshold
+// (throughput down, abort rate up, park/broadcast p99 up). Points
+// present in only one document are listed but never gate — adding a
+// benchmark must not fail the check.
+//
+// In -check mode it only validates each file against the current
+// schema (version, metadata, point sanity) — the cheap CI pass that
+// keeps committed documents loadable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	check := flag.Bool("check", false, "validate the given documents against the schema and exit")
+	threshold := flag.Float64("threshold", bench.DefaultThreshold,
+		"relative worsening tolerated before a metric counts as regressed")
+	flag.Parse()
+
+	if *check {
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "benchdiff: -check needs at least one file")
+			os.Exit(2)
+		}
+		fail := false
+		for _, path := range flag.Args() {
+			if _, err := bench.Load(path); err != nil {
+				fmt.Fprintln(os.Stderr, "benchdiff:", err)
+				fail = true
+				continue
+			}
+			fmt.Printf("%s: ok\n", path)
+		}
+		if fail {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold F] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldDoc, err := bench.Load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newDoc, err := bench.Load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	report := bench.Compare(oldDoc, newDoc, *threshold)
+	report.WriteTable(os.Stdout)
+	if n := len(report.Regressions); n > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond %.0f%%:\n", n, *threshold*100)
+		for _, row := range report.Regressions {
+			fmt.Fprintf(os.Stderr, "  %s %s: %s -> %s (%s)\n",
+				row.Key, row.Metric,
+				fmt.Sprintf("%g", row.Old), fmt.Sprintf("%g", row.New),
+				deltaStr(row.Delta))
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regressions")
+}
+
+func deltaStr(d float64) string {
+	if d != d { // NaN: no baseline
+		return "no baseline"
+	}
+	return fmt.Sprintf("%+.1f%%", d*100)
+}

@@ -327,6 +327,10 @@ func runChaos(goroutines int, seed uint64, rate float64, dur time.Duration, dump
 		tr.Enable()
 		reg.SetTracer(tr)
 	}
+	// Contention attribution is part of the instrumented-by-default set:
+	// the deliberately-contended chaos.hot probe below must rank first on
+	// /debug/cv/conflicts (the verify.sh attribution smoke asserts it).
+	stm.SetProfiling(true)
 	rec := introspect.NewRecorder(dumpDir, reg, 4096)
 	ok := true
 	for _, kind := range []facility.Kind{facility.LockTM, facility.Txn} {
@@ -403,6 +407,26 @@ func runChaosKind(kind facility.Kind, goroutines int, seed uint64, rate float64,
 				consumed.Add(1)
 				consSum.Add(int64(x))
 				consSq.Add(int64(x) * int64(x) % (1 << 31))
+			}
+		}()
+	}
+
+	// Attribution probe: a few goroutines hammer one named Var with
+	// read-modify-write transactions while the injector stalls the orec
+	// hook points underneath, so this Var draws conflicts by design. It
+	// gives /debug/cv/conflicts a known-hot row ("chaos.hot") that the
+	// verify.sh attribution smoke asserts ranks on the table.
+	hot := stm.NewVarNamed(e, "chaos.hot", 0)
+	var hotWg sync.WaitGroup
+	for h := 0; h < 4; h++ {
+		hotWg.Add(1)
+		go func() {
+			defer hotWg.Done()
+			for time.Now().Before(deadline) {
+				e.MustAtomic(func(tx *stm.Tx) {
+					tx.SetLabel("chaos.hot-probe")
+					stm.Write(tx, hot, stm.Read(tx, hot)+1)
+				})
 			}
 		}()
 	}
@@ -521,6 +545,7 @@ func runChaosKind(kind facility.Kind, goroutines int, seed uint64, rate float64,
 	// Drain: wait for the producers to retire first — one may still be
 	// blocked in Put past the deadline with its item not yet counted —
 	// then for consumption to catch up, and only then close the queue.
+	hotWg.Wait()
 	prodWg.Wait()
 	for consumed.Load() < produced.Load() {
 		time.Sleep(time.Millisecond)

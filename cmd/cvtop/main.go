@@ -1,8 +1,9 @@
 // Command cvtop is a terminal viewer for the live-introspection
 // endpoints (DESIGN.md §10): point it at a process started with
-// -introspect and it polls /debug/cv/vars and /debug/cv/waiters,
-// rendering engine health, commit/abort rates, and the busiest
-// condition variables with their deepest waiters.
+// -introspect and it polls /debug/cv/vars, /debug/cv/waiters and
+// /debug/cv/conflicts, rendering engine health, commit/abort rates, the
+// busiest condition variables with their deepest waiters, and the
+// hottest transactional Vars by attributed aborts.
 //
 // Usage:
 //
@@ -110,6 +111,21 @@ func runCheck(base string) error {
 	if wd.GeneratedAt.IsZero() {
 		return fmt.Errorf("/debug/cv/waiters: missing generated_at")
 	}
+	body, err = fetch(base + "/debug/cv/conflicts")
+	if err != nil {
+		return err
+	}
+	var cd struct {
+		GeneratedAt time.Time                         `json:"generated_at"`
+		TopK        int                               `json:"top_k"`
+		Engines     map[string][]registry.ConflictVar `json:"engines"`
+	}
+	if err := json.Unmarshal(body, &cd); err != nil {
+		return fmt.Errorf("/debug/cv/conflicts: %w", err)
+	}
+	if cd.GeneratedAt.IsZero() || cd.TopK <= 0 {
+		return fmt.Errorf("/debug/cv/conflicts: missing generated_at/top_k")
+	}
 	// /debug/cv/trace legitimately 404s when no tracer is attached; any
 	// 200 must be valid JSON.
 	resp, err := http.Get(base + "/debug/cv/trace")
@@ -143,11 +159,13 @@ func fetch(url string) ([]byte, error) {
 
 // sample is one poll of the endpoint.
 type sample struct {
-	at      time.Time
-	scalars map[string]float64 // full "name{labels}" key -> value
-	hists   map[string]histVar
-	waiters []registry.Waiter
-	sources []sourceSummary
+	at          time.Time
+	scalars     map[string]float64 // full "name{labels}" key -> value
+	hists       map[string]histVar
+	waiters     []registry.Waiter
+	sources     []sourceSummary
+	conflicts   map[string][]registry.ConflictVar // engine -> top-K hot Vars
+	profilingOn bool
 }
 
 type histVar struct {
@@ -203,6 +221,19 @@ func poll(base string) (*sample, error) {
 	}
 	s.sources = wd.Sources
 	s.waiters = wd.Waiters
+	body, err = fetch(base + "/debug/cv/conflicts")
+	if err != nil {
+		return nil, err
+	}
+	var cd struct {
+		ProfilingOn bool                              `json:"profiling_on"`
+		Engines     map[string][]registry.ConflictVar `json:"engines"`
+	}
+	if err := json.Unmarshal(body, &cd); err != nil {
+		return nil, fmt.Errorf("conflicts: %w", err)
+	}
+	s.conflicts = cd.Engines
+	s.profilingOn = cd.ProfilingOn
 	return s, nil
 }
 
@@ -345,4 +376,73 @@ func render(w *strings.Builder, cur, prev *sample, topN int) {
 				time.Duration(h.P50), time.Duration(h.P99), time.Duration(h.Max))
 		}
 	}
+
+	renderConflicts(w, cur, topN)
+}
+
+// conflictRow flattens the per-engine attribution tables for ranking.
+type conflictRow struct {
+	engine string
+	cv     registry.ConflictVar
+}
+
+// renderConflicts prints the hottest Vars by attributed aborts across
+// all engines — the live view of /debug/cv/conflicts.
+func renderConflicts(w *strings.Builder, cur *sample, topN int) {
+	var rows []conflictRow
+	for eng, cvs := range cur.conflicts {
+		for _, cv := range cvs {
+			rows = append(rows, conflictRow{engine: eng, cv: cv})
+		}
+	}
+	if len(rows) == 0 {
+		if !cur.profilingOn {
+			fmt.Fprintln(w, "\nTOP CONFLICTS: (attribution off — start the target with -profile or stm.SetProfiling)")
+		}
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		// The "(unattributed)" residue bucket sorts last no matter how
+		// large: it is a catch-all, not an actionable Var.
+		iu, ju := rows[i].cv.Var == "(unattributed)", rows[j].cv.Var == "(unattributed)"
+		if iu != ju {
+			return ju
+		}
+		if rows[i].cv.Total != rows[j].cv.Total {
+			return rows[i].cv.Total > rows[j].cv.Total
+		}
+		return rows[i].cv.Var < rows[j].cv.Var
+	})
+	if len(rows) > topN {
+		rows = rows[:topN]
+	}
+	fmt.Fprintf(w, "\n%-28s %-14s %10s %12s  %s\n",
+		"TOP CONFLICTS (VAR)", "ENGINE", "ABORTS", "ENCOUNTERS", "REASONS")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-28s %-14s %10d %12d  %s\n",
+			r.cv.Var, r.engine, r.cv.Total, r.cv.Encounters, reasonMix(r.cv.ByReason))
+	}
+}
+
+// reasonMix renders a compact "reason:count" list, largest first.
+func reasonMix(byReason map[string]int64) string {
+	type rc struct {
+		r string
+		n int64
+	}
+	var mix []rc
+	for r, n := range byReason {
+		mix = append(mix, rc{r, n})
+	}
+	sort.Slice(mix, func(i, j int) bool {
+		if mix[i].n != mix[j].n {
+			return mix[i].n > mix[j].n
+		}
+		return mix[i].r < mix[j].r
+	})
+	parts := make([]string, len(mix))
+	for i, m := range mix {
+		parts[i] = fmt.Sprintf("%s:%d", m.r, m.n)
+	}
+	return strings.Join(parts, " ")
 }

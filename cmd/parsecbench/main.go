@@ -24,6 +24,10 @@
 //	-introspect addr            serve /debug/cv/* live endpoints while running
 //	-wakefanout N               NotifyAll chained-wake fan-out (0 = default)
 //	-serialwake                 ablation: serial broadcast wake loop
+//	-profile                    enable STM contention attribution
+//	-sweep "1,2,4"              trajectory mode: run the matrix once per
+//	                            GOMAXPROCS value, write a BENCH_*.json doc
+//	-benchout path              sweep output path (default BENCH_<host>_<date>.json)
 //
 // Examples:
 //
@@ -31,6 +35,8 @@
 //	parsecbench -machine haswell               # Figure 2 data + Figure 3(b)
 //	parsecbench -bench dedup -threads 4        # just the dedup anomaly
 //	parsecbench -trace t.json -metrics         # trace + metrics JSON
+//	parsecbench -preset test -sweep 1,2        # trajectory document
+//	                                           # (compare with cmd/benchdiff)
 package main
 
 import (
@@ -41,12 +47,14 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/obs/introspect"
 	"repro/internal/obs/registry"
 	"repro/internal/parsec"
+	"repro/internal/stm"
 )
 
 func main() {
@@ -68,6 +76,9 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress live progress")
 	wakeFanout := flag.Int("wakefanout", 0, "NotifyAll wake fan-out (chains started by the notifier; 0 = default pacing)")
 	serialWake := flag.Bool("serialwake", false, "ablation: disable the chained wake batch and post every broadcast waiter serially from the commit handler")
+	profile := flag.Bool("profile", false, "enable STM contention attribution (per-Var conflict counters; auto-on with -introspect)")
+	sweepList := flag.String("sweep", "", "trajectory mode: comma-separated GOMAXPROCS list (e.g. \"1,2,4\"); writes a BENCH_*.json document and exits")
+	benchOut := flag.String("benchout", "", "trajectory output path (default BENCH_<host>_<date>.json in the current directory)")
 	flag.Parse()
 
 	effScale := *scale
@@ -150,8 +161,29 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "parsecbench: introspect: listening on %s\n", srv.Addr())
 	}
+	if *profile || *introspectAddr != "" {
+		// Attribution costs one atomic load on already-slow conflict
+		// paths, so the introspection server gets it for free — its
+		// /debug/cv/conflicts endpoint is empty otherwise.
+		stm.SetProfiling(true)
+	}
+
+	if *sweepList != "" {
+		out := *benchOut
+		if out == "" {
+			host, _ := os.Hostname()
+			out = bench.DefaultFilename(host, time.Now().UTC())
+		}
+		if err := runSweep(cfg, *sweepList, out, cfg.Progress); err != nil {
+			fmt.Fprintln(os.Stderr, "parsecbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	sw := harness.Run(cfg)
+	meta := bench.Collect()
+	sw.Meta = &meta
 
 	if *tracePath != "" {
 		cfg.Tracer.Disable()

@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// DefaultThreshold is the relative worsening benchdiff tolerates before
+// declaring a regression. Wall-clock metrics on small presets are noisy
+// (single-digit-ms cells, shared hosts), so the default is deliberately
+// loose; tighten it per-invocation with -threshold for quiet machines.
+const DefaultThreshold = 0.25
+
+// metricDef describes one compared metric: how to read it from a Point
+// and which direction is an improvement.
+type metricDef struct {
+	name         string
+	higherBetter bool
+	get          func(Point) float64
+}
+
+// compared lists the metrics benchdiff gates on, in display order.
+// Mean/commit counts are shown via throughput/abort_rate; p50s ride
+// along for the table but regressions gate on the tails.
+var compared = []metricDef{
+	{"throughput_ops_s", true, func(p Point) float64 { return p.ThroughputOpsS }},
+	{"abort_rate", false, func(p Point) float64 { return p.AbortRate }},
+	{"park_p99_ns", false, func(p Point) float64 { return float64(p.ParkP99NS) }},
+	{"broadcast_p99_ns", false, func(p Point) float64 { return float64(p.BroadcastP99NS) }},
+}
+
+// DeltaRow is one (point, metric) comparison.
+type DeltaRow struct {
+	Key       string // benchmark/system/procs
+	Metric    string
+	Old, New  float64
+	Delta     float64 // relative change (new-old)/old; NaN when old == 0
+	Regressed bool
+}
+
+// Report is the outcome of comparing two trajectory documents.
+type Report struct {
+	Rows        []DeltaRow
+	Regressions []DeltaRow
+	// OnlyOld / OnlyNew list point keys present in one document but not
+	// the other (matrix drift — reported, never a regression).
+	OnlyOld, OnlyNew []string
+}
+
+// Compare matches points by (benchmark, system, procs) and evaluates
+// every compared metric against the threshold (relative worsening, e.g.
+// 0.25 = 25%). Points appearing in only one document are listed but not
+// gated on, so adding a benchmark does not fail the trajectory check.
+func Compare(oldDoc, newDoc *Doc, threshold float64) *Report {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	oldPts := make(map[string]Point, len(oldDoc.Points))
+	for _, p := range oldDoc.Points {
+		oldPts[p.key()] = p
+	}
+	newKeys := make(map[string]bool, len(newDoc.Points))
+	r := &Report{}
+	for _, np := range newDoc.Points {
+		k := np.key()
+		newKeys[k] = true
+		op, ok := oldPts[k]
+		if !ok {
+			r.OnlyNew = append(r.OnlyNew, k)
+			continue
+		}
+		for _, m := range compared {
+			row := DeltaRow{Key: k, Metric: m.name, Old: m.get(op), New: m.get(np)}
+			row.Delta = relDelta(row.Old, row.New)
+			row.Regressed = regressed(m, row.Old, row.New, threshold)
+			r.Rows = append(r.Rows, row)
+			if row.Regressed {
+				r.Regressions = append(r.Regressions, row)
+			}
+		}
+	}
+	for _, op := range oldDoc.Points {
+		if !newKeys[op.key()] {
+			r.OnlyOld = append(r.OnlyOld, op.key())
+		}
+	}
+	return r
+}
+
+func relDelta(old, new float64) float64 {
+	if old == 0 {
+		return math.NaN()
+	}
+	return (new - old) / old
+}
+
+// regressed decides whether new is worse than old beyond threshold.
+// Zero baselines get special treatment: a latency metric appearing from
+// nothing has no meaningful relative delta (skip), while an abort rate
+// appearing from zero regresses once it exceeds the threshold as an
+// absolute rate.
+func regressed(m metricDef, old, new float64, threshold float64) bool {
+	if m.higherBetter {
+		return old > 0 && new < old*(1-threshold)
+	}
+	if old == 0 {
+		return m.name == "abort_rate" && new > threshold
+	}
+	return new > old*(1+threshold)
+}
+
+// WriteTable renders the per-metric delta table plus matrix-drift notes.
+func (r *Report) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "%-32s %-18s %14s %14s %9s\n",
+		"point", "metric", "old", "new", "delta")
+	for _, row := range r.Rows {
+		mark := ""
+		if row.Regressed {
+			mark = "  << REGRESSED"
+		}
+		fmt.Fprintf(w, "%-32s %-18s %14s %14s %9s%s\n",
+			row.Key, row.Metric, fmtVal(row.Old), fmtVal(row.New),
+			fmtDelta(row.Delta), mark)
+	}
+	for _, k := range r.OnlyOld {
+		fmt.Fprintf(w, "%-32s (only in old document)\n", k)
+	}
+	for _, k := range r.OnlyNew {
+		fmt.Fprintf(w, "%-32s (only in new document)\n", k)
+	}
+}
+
+func fmtVal(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) < 1:
+		return fmt.Sprintf("%.4f", v)
+	case math.Abs(v) < 1000:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+func fmtDelta(d float64) string {
+	if math.IsNaN(d) {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", d*100)
+}

@@ -171,6 +171,11 @@ type wakeBatch struct {
 // nodeSeq hands out trace-lane ids for nodes across all condvars.
 var nodeSeq atomic.Uint64
 
+// cvSeq hands out condvar ids for trace attribution (the B argument of
+// enqueue/notify/wake events, resolved to a name by the Chrome exporter
+// when the condvar was named).
+var cvSeq atomic.Uint64
+
 // CondVar is the paper's transaction-friendly condition variable
 // (Algorithms 3–6): a queue of per-thread semaphores manipulated inside
 // small transactions, with SEMPOST deferred to transaction commit.
@@ -187,6 +192,11 @@ type CondVar struct {
 	pool sync.Pool
 	st   *CVStats
 
+	// id tags this condvar's trace events (see cvSeq); name is the
+	// attribution label set by SetName — a setup-time field like st.
+	id   uint64
+	name string
+
 	// depth tracks the committed queue depth: incremented by each
 	// enqueue's commit, decremented by each committed dequeue (notify or
 	// timeout unlink). Transactional aborts never touch it, so it is
@@ -201,6 +211,7 @@ func New(e *stm.Engine, opts Options) *CondVar {
 		head: stm.NewVar[*Node](e, nil),
 		tail: stm.NewVar[*Node](e, nil),
 		opts: opts,
+		id:   cvSeq.Add(1),
 	}
 	cv.pool.New = func() any { return cv.newNode() }
 	return cv
@@ -208,6 +219,22 @@ func New(e *stm.Engine, opts Options) *CondVar {
 
 // SetStats attaches a stats sink; call before concurrent use.
 func (cv *CondVar) SetStats(st *CVStats) { cv.st = st }
+
+// SetName labels the condvar for contention attribution and trace
+// output: its queue Vars show as name.head/name.tail in conflict
+// tables, its trace events resolve to name in the Chrome exporter, and
+// nodes created afterwards name their links name.node. A setup-time
+// call like SetStats; returns cv for chaining.
+func (cv *CondVar) SetName(name string) *CondVar {
+	cv.name = name
+	cv.head.SetName(name + ".head")
+	cv.tail.SetName(name + ".tail")
+	obs.RegisterEntityName(cv.id, name)
+	return cv
+}
+
+// Name returns the label set by SetName ("" when unnamed).
+func (cv *CondVar) Name() string { return cv.name }
 
 // Engine returns the engine the condvar's internal transactions use.
 func (cv *CondVar) Engine() *stm.Engine { return cv.e }
@@ -218,6 +245,11 @@ func (cv *CondVar) newNode() *Node {
 		sem:  sem.NewBinary(),
 		next: stm.NewVar[*Node](cv.e, nil),
 		tag:  stm.NewVar[any](cv.e, nil),
+	}
+	if cv.name != "" {
+		// All of a named condvar's node links share one attribution row:
+		// queue-link churn shows up as "<name>.node", not per-node sites.
+		n.next.SetName(cv.name + ".node")
 	}
 	// Nodes are created lazily (first pool Get), so stats/tracer sinks
 	// attached during condvar setup are seen here.
@@ -296,7 +328,7 @@ func (cv *CondVar) enqueue(tx *stm.Tx, n *Node) {
 	body := func(tx *stm.Tx) {
 		// Attempt-buffered: an aborted attempt's enqueue never shows in
 		// the trace; the committed depth gauge moves only at commit.
-		tx.Trace(obs.EvCVEnqueue, int64(n.id), 0)
+		tx.Trace(obs.EvCVEnqueue, int64(n.id), int64(cv.id))
 		tx.OnCommit(func() { cv.depth.Inc() })
 		switch cv.opts.Policy {
 		case LIFO:
@@ -742,7 +774,7 @@ func (cv *CondVar) noteWake(n *Node) {
 		}
 	}
 	if tr := cv.e.Tracer(); tr.Enabled() {
-		tr.Emit(n.id, obs.EvCVWake, int64(n.id), 0)
+		tr.Emit(n.id, obs.EvCVWake, int64(n.id), int64(cv.id))
 	}
 }
 
@@ -755,13 +787,13 @@ func (cv *CondVar) notifyPost(tx *stm.Tx, n *Node) {
 			tx.Syscall() // a real HTM would abort here; make the sim do so
 		}
 		if tr := cv.e.Tracer(); tr.Enabled() {
-			tr.Emit(n.id, obs.EvCVNotify, int64(n.id), 0)
+			tr.Emit(n.id, obs.EvCVNotify, int64(n.id), int64(cv.id))
 		}
 		cv.notifyCommitted(n)
 		return
 	}
 	// Attempt-buffered: an aborted attempt's notify leaves no trace.
-	tx.Trace(obs.EvCVNotify, int64(n.id), 0)
+	tx.Trace(obs.EvCVNotify, int64(n.id), int64(cv.id))
 	// Capture the node's incarnation at dequeue time: the commit handler
 	// must wake the waiter that was unlinked, not whoever owns a recycled
 	// node later (ABA). The body may re-run on conflict; each attempt
@@ -850,7 +882,7 @@ func (cv *CondVar) notifyBatch(tx *stm.Tx, max int) int {
 				// trace. The node's incarnation is captured at dequeue so
 				// the committed batch can detect recycling (ABA), same as
 				// the single-node path.
-				tx.Trace(obs.EvCVNotify, int64(sn.id), 0)
+				tx.Trace(obs.EvCVNotify, int64(sn.id), int64(cv.id))
 				nodes = append(nodes, sn)
 				gens = append(gens, sn.gen.Load())
 			}

@@ -76,9 +76,9 @@ func newTxnBarrier(tk *Toolkit, parties int) *txnBarrier {
 	return &txnBarrier{
 		e:       tk.Engine,
 		parties: parties,
-		count:   stm.NewVar(tk.Engine, 0),
-		gen:     stm.NewVar(tk.Engine, 0),
-		cv:      tk.NewCondVar(),
+		count:   newVarNamed(tk, "barrier.count", 0),
+		gen:     newVarNamed(tk, "barrier.gen", 0),
+		cv:      tk.NewCondVarNamed("barrier.cv"),
 	}
 }
 

@@ -115,7 +115,21 @@ type Toolkit struct {
 	Introspect       *registry.Registry
 	IntrospectPrefix string
 
+	// Label, when non-empty, prefixes every attribution name this
+	// toolkit assigns ("<Label>.taskq.items" instead of "taskq.items"),
+	// separating same-shaped facilities of concurrent workloads in
+	// conflict tables (DESIGN.md §13).
+	Label string
+
 	cvSeq atomic.Uint64
+}
+
+// label applies the toolkit's Label prefix to an attribution name.
+func (tk *Toolkit) label(name string) string {
+	if tk.Label == "" {
+		return name
+	}
+	return tk.Label + "." + name
 }
 
 // NewCond returns a condition variable of the toolkit's flavour for
@@ -147,6 +161,29 @@ func (tk *Toolkit) NewCondVar() *core.CondVar {
 			fmt.Sprintf("%s/cv%d", tk.IntrospectPrefix, seq))
 	}
 	return cv
+}
+
+// NewCondNamed is NewCond with an attribution name for the TM-backed
+// flavour; LockPthread condvars have no attribution surface, so the
+// name is ignored there.
+func (tk *Toolkit) NewCondNamed(name string) Cond {
+	if tk.Kind == LockTM {
+		return core.NewLockCond(tk.NewCondVarNamed(name))
+	}
+	return tk.NewCond()
+}
+
+// NewCondVarNamed is NewCondVar plus CondVar.SetName under the
+// toolkit's Label prefix, so conflict tables and traces show
+// "taskq.workAvail" instead of a bare creation site.
+func (tk *Toolkit) NewCondVarNamed(name string) *core.CondVar {
+	return tk.NewCondVar().SetName(tk.label(name))
+}
+
+// newVarNamed names a facility's state Var under the toolkit's Label
+// prefix (helper for the facility constructors).
+func newVarNamed[T any](tk *Toolkit, name string, init T) *stm.Var[T] {
+	return stm.NewVarNamed(tk.Engine, tk.label(name), init)
 }
 
 // Transactional reports whether shared data is protected by transactions

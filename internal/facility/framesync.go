@@ -71,9 +71,10 @@ type txnFrameSync struct {
 }
 
 func newTxnFrameSync(tk *Toolkit, frames int) *txnFrameSync {
-	fs := &txnFrameSync{e: tk.Engine, progress: make([]*stm.Var[int], frames), cv: tk.NewCondVar()}
+	fs := &txnFrameSync{e: tk.Engine, progress: make([]*stm.Var[int], frames), cv: tk.NewCondVarNamed("framesync.cv")}
 	for i := range fs.progress {
-		fs.progress[i] = stm.NewVar(tk.Engine, 0)
+		// One attribution row across frames, like queue.slots.
+		fs.progress[i] = newVarNamed(tk, "framesync.progress", 0)
 	}
 	return fs
 }

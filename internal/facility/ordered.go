@@ -119,12 +119,13 @@ func newTxnOrdered[T any](tk *Toolkit, sizeHint int) *txnOrdered[T] {
 	o := &txnOrdered[T]{
 		e:       e,
 		buckets: make([]*stm.Var[[]seqItem[T]], orderedBuckets),
-		nextOut: stm.NewVar(e, 0),
-		closed:  stm.NewVar(e, false),
-		arrived: tk.NewCondVar(),
+		nextOut: newVarNamed(tk, "ordered.nextOut", 0),
+		closed:  newVarNamed(tk, "ordered.closed", false),
+		arrived: tk.NewCondVarNamed("ordered.arrived"),
 	}
 	for i := range o.buckets {
-		o.buckets[i] = stm.NewVar(e, []seqItem[T](nil))
+		// One attribution row for all buckets, like queue.slots.
+		o.buckets[i] = newVarNamed(tk, "ordered.buckets", []seqItem[T](nil))
 	}
 	return o
 }

@@ -146,12 +146,12 @@ func newTxnPool(tk *Toolkit, workers int) *txnPool {
 	e := tk.Engine
 	p := &txnPool{
 		e:       e,
-		job:     stm.NewVar[func(int)](e, nil),
-		gen:     stm.NewVar(e, 0),
-		running: stm.NewVar(e, 0),
-		closed:  stm.NewVar(e, false),
-		newCmd:  tk.NewCondVar(),
-		done:    tk.NewCondVar(),
+		job:     stm.NewVarNamed[func(int)](e, tk.label("pool.job"), nil),
+		gen:     newVarNamed(tk, "pool.gen", 0),
+		running: newVarNamed(tk, "pool.running", 0),
+		closed:  newVarNamed(tk, "pool.closed", false),
+		newCmd:  tk.NewCondVarNamed("pool.newCmd"),
+		done:    tk.NewCondVarNamed("pool.done"),
 		workers: workers,
 	}
 	for i := 0; i < workers; i++ {

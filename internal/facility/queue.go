@@ -121,15 +121,17 @@ func newTxnQueue[T any](tk *Toolkit, capacity int) *txnQueue[T] {
 	q := &txnQueue[T]{
 		e:        e,
 		slots:    make([]*stm.Var[T], capacity),
-		head:     stm.NewVar(e, 0),
-		n:        stm.NewVar(e, 0),
-		closed:   stm.NewVar(e, false),
-		notEmpty: tk.NewCondVar(),
-		notFull:  tk.NewCondVar(),
+		head:     newVarNamed(tk, "queue.head", 0),
+		n:        newVarNamed(tk, "queue.n", 0),
+		closed:   newVarNamed(tk, "queue.closed", false),
+		notEmpty: tk.NewCondVarNamed("queue.notEmpty"),
+		notFull:  tk.NewCondVarNamed("queue.notFull"),
 	}
 	var zero T
 	for i := range q.slots {
-		q.slots[i] = stm.NewVar(e, zero)
+		// One attribution row for the whole ring: slot conflicts are a
+		// property of the queue, not of any single index.
+		q.slots[i] = newVarNamed(tk, "queue.slots", zero)
 	}
 	return q
 }

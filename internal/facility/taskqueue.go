@@ -170,12 +170,12 @@ func newTxnTaskQueue(tk *Toolkit, workers int) *txnTaskQueue {
 	e := tk.Engine
 	q := &txnTaskQueue{
 		e:         e,
-		tasks:     stm.NewVar(e, []func(){}),
-		pending:   stm.NewVar(e, 0),
-		closed:    stm.NewVar(e, false),
-		exited:    stm.NewVar(e, 0),
-		workAvail: tk.NewCondVar(),
-		idle:      tk.NewCondVar(),
+		tasks:     newVarNamed(tk, "taskq.items", []func(){}),
+		pending:   newVarNamed(tk, "taskq.pending", 0),
+		closed:    newVarNamed(tk, "taskq.closed", false),
+		exited:    newVarNamed(tk, "taskq.exited", 0),
+		workAvail: tk.NewCondVarNamed("taskq.workAvail"),
+		idle:      tk.NewCondVarNamed("taskq.idle"),
 		workers:   workers,
 	}
 	for i := 0; i < workers; i++ {

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/facility"
 	"repro/internal/fault"
@@ -37,6 +38,13 @@ type SweepConfig struct {
 	Scale      float64 // workload scale factor
 	Seed       uint64
 	Progress   io.Writer // optional live progress log
+
+	// TopThreadsOnly restricts each benchmark to its highest thread count
+	// instead of the full 1..MaxThreads curve. The trajectory sweep
+	// (parsecbench -sweep) uses this: it varies GOMAXPROCS across runs and
+	// wants one saturated cell per (benchmark, system, procs), not the
+	// whole figure grid at every procs value.
+	TopThreadsOnly bool
 
 	// CollectMetrics attaches fresh TM/condvar instrument sinks to every
 	// timed trial and keeps a per-trial snapshot in Cell.Trials (the data
@@ -104,6 +112,11 @@ type Cell struct {
 type Sweep struct {
 	Config SweepConfig
 	Cells  []Cell
+
+	// Meta, when set by the caller (parsecbench stamps bench.Collect()
+	// here), rides into WriteMetricsJSON's document so archived result
+	// files identify the environment that produced them.
+	Meta *bench.RunMeta
 }
 
 // Run executes the sweep.
@@ -112,6 +125,9 @@ func Run(cfg SweepConfig) *Sweep {
 	sw := &Sweep{Config: cfg}
 	for _, b := range cfg.Benchmarks {
 		threads := b.Threads(cfg.MaxThreads)
+		if cfg.TopThreadsOnly && len(threads) > 1 {
+			threads = threads[len(threads)-1:]
+		}
 		for _, sys := range cfg.Systems {
 			for _, th := range threads {
 				cell := runCell(cfg, b, sys, th)

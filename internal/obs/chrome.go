@@ -41,7 +41,18 @@ func chromeArgs(ev Event) map[string]any {
 	case EvHandlerRun:
 		return map[string]any{"handlers": ev.A}
 	case EvCVEnqueue, EvCVNotify, EvCVWake:
-		return map[string]any{"node": ev.A}
+		// B carries the condvar id (0 from pre-attribution emitters), so
+		// a cv.notify → sem.unpark chain names the condvar that caused
+		// it. Named condvars (CondVar.SetName) resolve to their name.
+		args := map[string]any{"node": ev.A}
+		if ev.B != 0 {
+			if name := EntityName(uint64(ev.B)); name != "" {
+				args["cv"] = name
+			} else {
+				args["cv_id"] = ev.B
+			}
+		}
+		return args
 	case EvCVSemPost:
 		return map[string]any{"node": ev.A, "queue_depth": ev.B}
 	case EvSemUnpark:

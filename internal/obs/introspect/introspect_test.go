@@ -128,6 +128,65 @@ func TestServerEndpoints(t *testing.T) {
 	}
 }
 
+// TestConflictsEndpoint validates /debug/cv/conflicts: JSON shape,
+// topk query handling, and the profiling_on flag mirroring the stm
+// gate.
+func TestConflictsEndpoint(t *testing.T) {
+	reg := registry.New()
+	reg.RegisterConflicts("chaos/tm-cv", func(topK int) []registry.ConflictVar {
+		rows := []registry.ConflictVar{
+			{Var: "chaos.hot", Encounters: 9, Total: 40, ByReason: map[string]int64{"conflict": 40}},
+			{Var: "taskq.items", Total: 3, ByReason: map[string]int64{"conflict": 3}},
+		}
+		if topK < len(rows) {
+			rows = rows[:topK]
+		}
+		return rows
+	})
+	s, err := Start(Options{Addr: "127.0.0.1:0", Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	prev := stm.ProfilingEnabled()
+	stm.SetProfiling(true)
+	defer stm.SetProfiling(prev)
+
+	body, resp := get(t, s.URL()+"/debug/cv/conflicts")
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("conflicts Content-Type = %q", ct)
+	}
+	var cd ConflictsDump
+	if err := json.Unmarshal([]byte(body), &cd); err != nil {
+		t.Fatalf("conflicts not JSON: %v\n%s", err, body)
+	}
+	if cd.GeneratedAt.IsZero() || !cd.ProfilingOn {
+		t.Errorf("dump header = %+v, want generated_at set and profiling_on", cd)
+	}
+	rows := cd.Engines["chaos/tm-cv"]
+	if len(rows) != 2 || rows[0].Var != "chaos.hot" || rows[0].Total != 40 {
+		t.Fatalf("engines table = %+v", cd.Engines)
+	}
+
+	body, _ = get(t, s.URL()+"/debug/cv/conflicts?topk=1")
+	if err := json.Unmarshal([]byte(body), &cd); err != nil {
+		t.Fatal(err)
+	}
+	if cd.TopK != 1 || len(cd.Engines["chaos/tm-cv"]) != 1 {
+		t.Fatalf("topk=1 dump = %+v", cd)
+	}
+
+	stm.SetProfiling(false)
+	body, _ = get(t, s.URL()+"/debug/cv/conflicts")
+	if err := json.Unmarshal([]byte(body), &cd); err != nil {
+		t.Fatal(err)
+	}
+	if cd.ProfilingOn {
+		t.Error("profiling_on still true after SetProfiling(false)")
+	}
+}
+
 func TestTraceEndpointWithoutTracer(t *testing.T) {
 	s, err := Start(Options{Addr: "127.0.0.1:0", Registry: registry.New()})
 	if err != nil {

@@ -17,10 +17,12 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/obs/registry"
+	"repro/internal/stm"
 )
 
 // Options configures Start.
@@ -78,6 +80,7 @@ func Start(opts Options) (*Server, error) {
 	mux.HandleFunc("/debug/cv/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/cv/vars", s.handleVars)
 	mux.HandleFunc("/debug/cv/waiters", s.handleWaiters)
+	mux.HandleFunc("/debug/cv/conflicts", s.handleConflicts)
 	mux.HandleFunc("/debug/cv/trace", s.handleTrace)
 	s.srv = &http.Server{Handler: mux}
 	go s.srv.Serve(ln) //nolint:errcheck — Serve always returns on Close
@@ -167,6 +170,48 @@ func (s *Server) handleWaiters(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(BuildWaitersDump(s.reg)) //nolint:errcheck — client went away
+}
+
+// defaultConflictTopK bounds the table served by /debug/cv/conflicts
+// when no ?topk= parameter is given.
+const defaultConflictTopK = 20
+
+// ConflictsDump is the /debug/cv/conflicts body: per engine, the top-K
+// abort-attribution rows (DESIGN.md §13), ranked by attributed aborts.
+// Empty tables mean contention profiling is off (stm.SetProfiling) or
+// nothing aborted yet.
+type ConflictsDump struct {
+	GeneratedAt time.Time                         `json:"generated_at"`
+	ProfilingOn bool                              `json:"profiling_on"`
+	TopK        int                               `json:"top_k"`
+	Engines     map[string][]registry.ConflictVar `json:"engines"`
+}
+
+// BuildConflictsDump assembles the dump from a registry (shared between
+// the HTTP handler and tests).
+func BuildConflictsDump(reg *registry.Registry, topK int) ConflictsDump {
+	if topK <= 0 {
+		topK = defaultConflictTopK
+	}
+	return ConflictsDump{
+		GeneratedAt: time.Now(),
+		ProfilingOn: stm.ProfilingEnabled(),
+		TopK:        topK,
+		Engines:     reg.Conflicts(topK),
+	}
+}
+
+func (s *Server) handleConflicts(w http.ResponseWriter, r *http.Request) {
+	topK := 0
+	if q := r.URL.Query().Get("topk"); q != "" {
+		if n, err := strconv.Atoi(q); err == nil {
+			topK = n
+		}
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(BuildConflictsDump(s.reg, topK)) //nolint:errcheck — client went away
 }
 
 // handleTrace drains the registry's tracer as Chrome trace_event JSON

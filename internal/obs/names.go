@@ -1,0 +1,25 @@
+package obs
+
+import "sync"
+
+// Entity name table: trace events carry only integer ids (Event.A/B are
+// the whole payload), so producers that want their events humanly
+// attributable — condvars, above all — register an id → name mapping
+// here and the exporters resolve it at render time. Registration is a
+// setup-time action (CondVar.SetName); lookups happen only when a trace
+// is exported, never on the emit path.
+var entityNames sync.Map // uint64 → string
+
+// RegisterEntityName associates a trace entity id with a display name.
+// Re-registering replaces the previous name.
+func RegisterEntityName(id uint64, name string) {
+	entityNames.Store(id, name)
+}
+
+// EntityName returns the display name registered for id, or "".
+func EntityName(id uint64) string {
+	if v, ok := entityNames.Load(id); ok {
+		return v.(string)
+	}
+	return ""
+}

@@ -29,6 +29,24 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		bw.WriteByte('\n')
 	}
 	prevName = ""
+	for _, s := range r.setsSorted() {
+		samples := s.read()
+		if len(samples) == 0 {
+			continue // a headerless family is fine; a sampleless one is not
+		}
+		if s.name != prevName {
+			writeHeader(bw, s.name, s.help, "counter")
+			prevName = s.name
+		}
+		for _, sm := range samples {
+			bw.WriteString(s.name)
+			bw.WriteString(s.renderSample(sm))
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(sm.Value, 10))
+			bw.WriteByte('\n')
+		}
+	}
+	prevName = ""
 	for _, h := range r.histsSorted() {
 		if h.name != prevName {
 			writeHeader(bw, h.name, h.help, "histogram")

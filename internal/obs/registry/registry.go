@@ -82,11 +82,13 @@ type WaiterSource func() []Waiter
 // registered closures outside the registry lock's critical work, but a
 // closure must itself be safe to call from any goroutine.
 type Registry struct {
-	mu      sync.RWMutex
-	scalars map[string]*scalarSource
-	hists   map[string]*histSource
-	waiters map[string]WaiterSource
-	tracer  *obs.Tracer
+	mu        sync.RWMutex
+	scalars   map[string]*scalarSource
+	hists     map[string]*histSource
+	sets      map[string]*setSource
+	waiters   map[string]WaiterSource
+	conflicts map[string]ConflictSource
+	tracer    *obs.Tracer
 }
 
 // Default is the process-wide registry commands register into when they
@@ -96,9 +98,11 @@ var Default = New()
 // New returns an empty registry.
 func New() *Registry {
 	return &Registry{
-		scalars: make(map[string]*scalarSource),
-		hists:   make(map[string]*histSource),
-		waiters: make(map[string]WaiterSource),
+		scalars:   make(map[string]*scalarSource),
+		hists:     make(map[string]*histSource),
+		sets:      make(map[string]*setSource),
+		waiters:   make(map[string]WaiterSource),
+		conflicts: make(map[string]ConflictSource),
 	}
 }
 

@@ -27,6 +27,11 @@ func (r *Registry) Vars() map[string]any {
 	for _, s := range r.scalarsSorted() {
 		out[s.name+s.labels] = s.read()
 	}
+	for _, s := range r.setsSorted() {
+		for _, sm := range s.read() {
+			out[s.name+s.renderSample(sm)] = sm.Value
+		}
+	}
 	for _, h := range r.histsSorted() {
 		snap := h.read()
 		out[h.name+h.labels] = HistVar{
@@ -55,7 +60,15 @@ type Snapshot struct {
 	Scalars    map[string]int64                 `json:"scalars"`
 	Histograms map[string]obs.HistogramSnapshot `json:"histograms"`
 	Waiters    []Waiter                         `json:"waiters,omitempty"`
+	// Conflicts is the top-K abort-attribution table per engine
+	// (DESIGN.md §13); empty unless contention profiling recorded
+	// activity. Flight-recorder dumps inherit it through this field.
+	Conflicts map[string][]ConflictVar `json:"conflicts,omitempty"`
 }
+
+// snapshotConflictTopK bounds the attribution rows embedded per engine
+// in a Snapshot — enough to see the ranking without bloating dumps.
+const snapshotConflictTopK = 16
 
 // TakeSnapshot reads every source once.
 func (r *Registry) TakeSnapshot() Snapshot {
@@ -67,9 +80,17 @@ func (r *Registry) TakeSnapshot() Snapshot {
 	for _, s := range r.scalarsSorted() {
 		snap.Scalars[s.name+s.labels] = s.read()
 	}
+	for _, s := range r.setsSorted() {
+		for _, sm := range s.read() {
+			snap.Scalars[s.name+s.renderSample(sm)] = sm.Value
+		}
+	}
 	for _, h := range r.histsSorted() {
 		snap.Histograms[h.name+h.labels] = h.read()
 	}
 	snap.Waiters = r.Waiters()
+	if c := r.Conflicts(snapshotConflictTopK); len(c) > 0 {
+		snap.Conflicts = c
+	}
 	return snap
 }

@@ -240,6 +240,11 @@ type Engine struct {
 	// wd is the abort-storm watchdog (see watchdog.go).
 	wd watchdog
 
+	// prof is the contention-attribution state (see profile.go). The
+	// zero value is ready; it only grows when Vars are named or created
+	// under the profiling gate.
+	prof engineProfile
+
 	// healthCB is invoked on published watchdog health transitions; nil
 	// when unset. Set during setup via SetHealthCallback.
 	healthCB func(next, old Health)
@@ -305,6 +310,8 @@ func (e *Engine) newTx(attempt int) *Tx {
 	tx.readOnly = false
 	tx.began = time.Now()
 	tx.pend = tx.pend[:0]
+	tx.conflictB = nil
+	tx.label = ""
 	tx.traceStart()
 	return tx
 }

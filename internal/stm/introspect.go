@@ -87,6 +87,14 @@ func (e *Engine) RegisterMetrics(r *registry.Registry) {
 	for _, th := range e.Stats.histograms() {
 		r.RegisterHistogram("stm_"+th.name, th.help, labels, th.h.Snapshot)
 	}
+	// Contention attribution (profile.go): the per-(var, reason) abort
+	// counters as one dynamic-label counter family, and the structured
+	// top-K table for /debug/cv/conflicts, cvtop and flight dumps. Both
+	// are pull-only; with profiling off they render empty.
+	r.RegisterCounterSet("stm_conflicts_total",
+		"aborts attributed per conflicting Var and abort reason",
+		labels, e.conflictSamples)
+	r.RegisterConflicts(e.cfg.Name, e.ConflictProfile)
 }
 
 // SetHealthCallback installs a hook invoked after every published

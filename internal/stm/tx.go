@@ -48,9 +48,12 @@ type abortSignal struct {
 }
 
 // readEntry records one transactional read for commit-time validation.
+// b rides along for contention attribution: when validation fails, the
+// failing entry names the Var that was disturbed (profile.go).
 type readEntry struct {
 	o   *orec
 	ver uint64
+	b   *varBase
 }
 
 // undoEntry records the pre-image of one write-through store.
@@ -109,6 +112,13 @@ type Tx struct {
 	// analogue of the paper's SEMPOST deferral — and are discarded by
 	// rollback, so aborted attempts leave only their terminal abort event.
 	pend []obs.Event
+
+	// conflictB is the Var blamed for this attempt's abort, set by the
+	// abort site (a plain pointer store) and consumed by rollback when
+	// contention profiling is on; nil when no specific Var was
+	// identified. label is the attribution label set via SetLabel.
+	conflictB *varBase
+	label     string
 }
 
 // Engine returns the engine this transaction runs on.
@@ -221,6 +231,27 @@ func (tx *Tx) abortConflict() {
 	panic(abortSignal{cause: causeConflict})
 }
 
+// abortConflictOn is abortConflict with the conflicting Var recorded
+// for attribution. The store is unconditional (cheaper than gating) and
+// only rollback reads it, behind the profiling gate.
+func (tx *Tx) abortConflictOn(b *varBase) {
+	tx.conflictB = b
+	panic(abortSignal{cause: causeConflict})
+}
+
+// SetLabel tags the transaction for abort attribution: the profile's
+// label dimension (profile.go). First-wins under flat nesting, so an
+// outer caller's label is not clobbered by a nested block. A no-op
+// unless contention profiling is enabled.
+func (tx *Tx) SetLabel(label string) {
+	if !profiling.Load() {
+		return
+	}
+	if tx.label == "" {
+		tx.label = label
+	}
+}
+
 // readShared performs a consistent versioned read of b's published value
 // and logs it in the read set. Shared by all optimistic modes.
 func (tx *Tx) readShared(b *varBase) any {
@@ -232,13 +263,15 @@ func (tx *Tx) readShared(b *varBase) any {
 				// Possible only during commit, which never reads.
 				panic("stm: readShared under own commit lock")
 			}
-			tx.abortConflict()
+			b.noteEncounter()
+			tx.abortConflictOn(b)
 		}
 		val := b.val.Load()
 		w2 := o.load()
 		if w1 != w2 {
 			if tx.mode == modeHTM {
-				tx.abortConflict() // eager HTM: any disturbance aborts
+				b.noteEncounter()
+				tx.abortConflictOn(b) // eager HTM: any disturbance aborts
 			}
 			continue // value changed underfoot; re-read
 		}
@@ -246,13 +279,14 @@ func (tx *Tx) readShared(b *varBase) any {
 			// The location changed after our snapshot. Software modes
 			// try a timestamp extension (revalidate the read set and
 			// advance the snapshot); HTM aborts immediately.
+			b.noteEncounter()
 			if tx.mode == modeHTM || !tx.extend() {
-				tx.abortConflict()
+				tx.abortConflictOn(b)
 			}
 			// Re-read under the extended snapshot.
 			continue
 		}
-		tx.reads = append(tx.reads, readEntry{o, versionOf(w1)})
+		tx.reads = append(tx.reads, readEntry{o, versionOf(w1), b})
 		tx.noteAccess()
 		return val
 	}
@@ -318,17 +352,27 @@ func (tx *Tx) bufferWrite(b *varBase, boxed any) {
 func (tx *Tx) writeThrough(b *varBase, boxed any) {
 	o := b.o
 	if !tx.ownsOrec(o) {
-		// Fault hook: encounter-time orec acquisition.
-		tx.faultPanic(tx.faultAt(fault.OrecAcquire))
+		// Fault hook: encounter-time orec acquisition. An injected abort
+		// blames the Var being written, like an organic acquisition
+		// failure would (attribution must survive chaos runs).
+		if d := tx.faultAt(fault.OrecAcquire); d.Action == fault.ActAbort || d.Action == fault.ActCapacity {
+			tx.conflictB = b
+			tx.faultPanic(d)
+		}
 		w := o.load()
 		if isLocked(w) {
-			tx.abortConflict() // no waiting: deadlock-free by construction
+			b.noteEncounter()
+			tx.abortConflictOn(b) // no waiting: deadlock-free by construction
 		}
-		if versionOf(w) > tx.start && !tx.extend() {
-			tx.abortConflict()
+		if versionOf(w) > tx.start {
+			b.noteEncounter()
+			if !tx.extend() {
+				tx.abortConflictOn(b)
+			}
 		}
 		if !o.cas(w, lockWord(tx.id)) {
-			tx.abortConflict()
+			b.noteEncounter()
+			tx.abortConflictOn(b)
 		}
 		tx.owned = append(tx.owned, ownedEntry{o, versionOf(w)})
 	}
@@ -346,7 +390,9 @@ func (tx *Tx) noteAccess() {
 
 // validateReads checks every logged read against the current orec state.
 // A read is valid if its orec is unlocked at the logged version, or locked
-// by this transaction with the logged version as the pre-lock version.
+// by this transaction with the logged version as the pre-lock version. On
+// failure the disturbed Var is recorded for attribution (the caller
+// always proceeds to roll back).
 func (tx *Tx) validateReads() bool {
 	for _, r := range tx.reads {
 		w := r.o.load()
@@ -356,9 +402,13 @@ func (tx *Tx) validateReads() bool {
 					continue
 				}
 			}
+			r.b.noteEncounter()
+			tx.conflictB = r.b
 			return false
 		}
 		if versionOf(w) != r.ver {
+			r.b.noteEncounter()
+			tx.conflictB = r.b
 			return false
 		}
 	}
@@ -415,10 +465,16 @@ func (tx *Tx) tryCommit() bool {
 			}
 			// Fault hook: commit-time orec acquisition. A panic here
 			// unwinds to attemptOnce's recover, whose rollback releases
-			// the orecs acquired so far to their pre-lock versions.
-			tx.faultPanic(tx.faultAt(fault.OrecAcquire))
+			// the orecs acquired so far to their pre-lock versions; the
+			// injected abort blames the Var whose orec was being taken.
+			if d := tx.faultAt(fault.OrecAcquire); d.Action == fault.ActAbort || d.Action == fault.ActCapacity {
+				tx.conflictB = tx.writes[i].b
+				tx.faultPanic(d)
+			}
 			w := o.load()
 			if isLocked(w) || !o.cas(w, lockWord(tx.id)) {
+				tx.writes[i].b.noteEncounter()
+				tx.conflictB = tx.writes[i].b
 				tx.releaseOwnedToPrev()
 				tx.rollback(causeConflict)
 				return false
@@ -488,6 +544,10 @@ func (tx *Tx) rollback(cause abortCause) {
 	tx.onAbort = nil
 	tx.onCommit = nil
 	tx.noteAborted(cause)
+	if profiling.Load() {
+		tx.e.recordAbort(cause, tx.conflictB, tx.label)
+	}
+	tx.conflictB = nil
 	st := &tx.e.Stats
 	st.Aborts.Inc()
 	switch cause {

@@ -15,6 +15,11 @@ type varBase struct {
 	o   *orec
 	seq uint64
 	eng *Engine // for the runtime sanitizer (debug.go)
+
+	// meta is the contention-attribution identity (profile.go); nil for
+	// unnamed Vars created while profiling is off. Read/Write fast paths
+	// never touch it — only naming, conflict sightings and rollback do.
+	meta atomic.Pointer[varMeta]
 }
 
 // Var is a transactional memory cell holding a value of type T. Create
@@ -30,13 +35,53 @@ type Var[T any] struct {
 }
 
 // NewVar allocates a transactional cell bound to engine e, holding init.
+// While contention profiling is enabled (SetProfiling), the creation
+// site is captured as the Var's attribution fallback name.
 func NewVar[T any](e *Engine, init T) *Var[T] {
+	v := newVar(e, init)
+	if profiling.Load() {
+		v.base.attachSiteMeta(2)
+	}
+	return v
+}
+
+// NewVarNamed is NewVar with an explicit attribution name: conflict
+// tables show name instead of a creation-site file:line. Naming is
+// always recorded (independent of the profiling gate) so a profile
+// enabled later still resolves names.
+func NewVarNamed[T any](e *Engine, name string, init T) *Var[T] {
+	v := newVar(e, init)
+	v.base.ensureMeta().setName(name)
+	return v
+}
+
+func newVar[T any](e *Engine, init T) *Var[T] {
 	v := &Var[T]{}
 	v.base.seq = e.varSeq.Add(1)
 	v.base.o = &e.orecs[orecIndex(v.base.seq, e.orecMask)]
 	v.base.eng = e
 	v.base.val.Store(box[T]{init})
 	return v
+}
+
+// SetName sets (or replaces) the Var's attribution name after creation,
+// returning v for chaining. Safe to call at any time.
+func (v *Var[T]) SetName(name string) *Var[T] {
+	v.base.ensureMeta().setName(name)
+	return v
+}
+
+// Name returns the Var's attribution name: the explicit name if set,
+// else the captured creation site, else "".
+func (v *Var[T]) Name() string {
+	m := v.base.meta.Load()
+	if m == nil {
+		return ""
+	}
+	if s := m.display(); s != "(unattributed)" {
+		return s
+	}
+	return ""
 }
 
 // LoadDirect reads the cell without transactional instrumentation. Only

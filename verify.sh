@@ -38,6 +38,7 @@ go run ./cmd/cvlint -tests -baseline lint-tests.baseline ./...
 step "tracer overhead guard (disabled path must not allocate)"
 go test -run 'TestTraceDisabledNoAlloc|TestTraceEnabledNoAlloc|TestHistogramObserveNoAlloc|TestParkLabelGateNoAlloc' ./internal/obs
 go test -run 'NoAlloc' ./internal/obs/registry
+go test -run 'TestProfilingDisabledNoAllocCommit|TestAbortPathAllocParity' ./internal/stm
 go test -run '^$' -bench BenchmarkTraceDisabled -benchmem ./internal/obs | tee /tmp/obs_bench.$$ >/dev/null
 grep -q ' 0 allocs/op' /tmp/obs_bench.$$ || {
 	echo "BenchmarkTraceDisabled allocates:"; cat /tmp/obs_bench.$$; rm -f /tmp/obs_bench.$$; exit 1;
@@ -86,8 +87,25 @@ grep -q '^cv_queue_depth{' /tmp/is_metrics.$$ || {
 curl -fsS "http://$ISADDR/debug/cv/waiters" | grep -q '"generated_at"' || {
 	echo "waiters endpoint malformed"; exit 1;
 }
+# Attribution smoke: the chaos workload hammers a Var named chaos.hot
+# (and auto-enables stm profiling), so the conflicts table must rank it.
+curl -fsS "http://$ISADDR/debug/cv/conflicts" >/tmp/is_conflicts.$$
+grep -q '"chaos.hot"' /tmp/is_conflicts.$$ || {
+	echo "conflicts endpoint missing the known-hot Var chaos.hot:"; cat /tmp/is_conflicts.$$; exit 1;
+}
+grep -q '"profiling_on": true' /tmp/is_conflicts.$$ || {
+	echo "conflicts endpoint reports profiling off during chaos:"; cat /tmp/is_conflicts.$$; exit 1;
+}
+rm -f /tmp/is_conflicts.$$
 go run ./cmd/cvtop -addr "$ISADDR" -check
 wait $ISPID || { echo "instrumented chaos soak failed:"; cat /tmp/cvstress_is.$$; exit 1; }
 rm -f /tmp/is_metrics.$$ /tmp/cvstress_is.$$
+
+step "benchmark trajectory (schema check over committed BENCH files)"
+# Every committed BENCH_*.json at the repo root must load and validate
+# against the current schema; benchdiff compares any two of them. (The
+# sweep itself is not re-run here — results are host-dependent and
+# archived deliberately; see results/README.md.)
+go run ./cmd/benchdiff -check BENCH_*.json
 
 step "ok"
