@@ -1,0 +1,172 @@
+// Command crashtest is the SIGKILL chaos driver for the black-box
+// oracle harness: it builds the real cvstress binary, runs it in
+// -mode blackbox with oracle persistence, kills it dead (SIGKILL, no
+// cleanup) at a seeded random point under load, restarts it with
+// -recover, and requires the recovery audit to come back clean — zero
+// oracle divergences (modulo the documented checkpoint window, which the
+// recovery pass tolerates and reports) and zero parked waiters after the
+// fresh soak's drain. Rounds chain: each restart is the next
+// incarnation of the same seed, so a multi-round run exercises
+// kill→recover→kill→recover against accumulating state.
+//
+// Exit codes mirror cvstress: 0 clean, 1 setup error, and otherwise the
+// failing child's code (2 divergence, 3 stuck).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"repro/internal/fault"
+)
+
+func main() {
+	rounds := flag.Int("rounds", 3, "kill/recover rounds to run")
+	seed := flag.Uint64("seed", 0xC4A05, "workload + fault seed handed to cvstress; also seeds the kill schedule")
+	bin := flag.String("bin", "", "prebuilt cvstress binary (default: go build it)")
+	stateDir := flag.String("state", "", "oracle state directory (default: a fresh temp dir)")
+	goroutines := flag.Int("goroutines", 8, "cvstress concurrency level")
+	faultrate := flag.Float64("faultrate", 0.1, "cvstress fault-injection rate")
+	keep := flag.Bool("keep", false, "keep the state directory for inspection")
+	flag.Parse()
+
+	code, err := run(*rounds, *seed, *bin, *stateDir, *goroutines, *faultrate, *keep)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crashtest:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	if code == 0 {
+		fmt.Println("RESULT: OK")
+	} else {
+		fmt.Printf("RESULT: FAIL (exit %d)\n", code)
+	}
+	os.Exit(code)
+}
+
+func run(rounds int, seed uint64, bin, stateDir string, goroutines int, faultrate float64, keep bool) (int, error) {
+	if bin == "" {
+		root, err := moduleRoot()
+		if err != nil {
+			return 1, err
+		}
+		tmp, err := os.MkdirTemp("", "crashtest-bin")
+		if err != nil {
+			return 1, err
+		}
+		defer os.RemoveAll(tmp)
+		bin = filepath.Join(tmp, "cvstress")
+		build := exec.Command("go", "build", "-o", bin, "./cmd/cvstress")
+		build.Dir = root
+		if out, err := build.CombinedOutput(); err != nil {
+			return 1, fmt.Errorf("building cvstress: %v\n%s", err, out)
+		}
+	}
+	if stateDir == "" {
+		dir, err := os.MkdirTemp("", "crashtest-state")
+		if err != nil {
+			return 1, err
+		}
+		stateDir = dir
+		if !keep {
+			defer os.RemoveAll(dir)
+		}
+	}
+	if keep {
+		fmt.Printf("crashtest: state in %s\n", stateDir)
+	}
+
+	for r := 0; r < rounds; r++ {
+		// The kill point is drawn deterministically from (seed, round):
+		// the same crashtest invocation kills at the same offsets.
+		killAfter := 400*time.Millisecond +
+			time.Duration(fault.DeriveSeed(seed, uint64(r))%1600)*time.Millisecond
+		fmt.Printf("round %d: soak, SIGKILL after %v under load\n", r, killAfter)
+
+		// Kill phase: a long soak that never gets to finish. -recover
+		// chains the incarnations (round 0 finds no state and starts
+		// fresh).
+		victim := exec.Command(bin, "-mode", "blackbox",
+			"-seed", fmt.Sprint(seed), "-goroutines", fmt.Sprint(goroutines),
+			"-faultrate", fmt.Sprint(faultrate), "-duration", "10m",
+			"-state", stateDir, "-checkpoint", "50ms", "-recover")
+		victim.Stdout, victim.Stderr = os.Stdout, os.Stderr
+		if err := victim.Start(); err != nil {
+			return 1, err
+		}
+		// Only kill once the run is demonstrably under load: the journal
+		// must have grown past the recovery preamble.
+		if err := awaitJournalGrowth(filepath.Join(stateDir, "journal.log"), 30*time.Second); err != nil {
+			victim.Process.Kill()
+			victim.Wait()
+			return 1, fmt.Errorf("round %d: %v", r, err)
+		}
+		time.Sleep(killAfter)
+		if err := victim.Process.Kill(); err != nil {
+			return 1, fmt.Errorf("round %d: kill: %v", r, err)
+		}
+		victim.Wait()
+
+		// Recovery phase: audit the carcass, then soak briefly as the
+		// next incarnation and drain clean.
+		rec := exec.Command(bin, "-mode", "blackbox",
+			"-seed", fmt.Sprint(seed), "-goroutines", fmt.Sprint(goroutines),
+			"-faultrate", fmt.Sprint(faultrate), "-duration", "1s",
+			"-state", stateDir, "-checkpoint", "50ms", "-recover")
+		rec.Stdout, rec.Stderr = os.Stdout, os.Stderr
+		if err := rec.Run(); err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				return ee.ExitCode(), fmt.Errorf("round %d: recovery failed (exit %d)", r, ee.ExitCode())
+			}
+			return 1, fmt.Errorf("round %d: recovery: %v", r, err)
+		}
+		fmt.Printf("round %d: recovered clean\n", r)
+	}
+	return 0, nil
+}
+
+// awaitJournalGrowth waits until the oracle journal exists and keeps
+// growing — proof the new incarnation truncated it and is journaling its
+// own events, not just that the previous round's file is still there.
+func awaitJournalGrowth(path string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var last int64 = -1
+	grown := 0
+	for time.Now().Before(deadline) {
+		if fi, err := os.Stat(path); err == nil {
+			if fi.Size() > last && last >= 0 {
+				grown++
+				if grown >= 2 {
+					return nil
+				}
+			}
+			last = fi.Size()
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("journal %s never grew (stress run not making progress?)", path)
+}
+
+// moduleRoot walks up from the working directory to the go.mod that
+// defines this module, so crashtest can be run from any subdirectory.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}

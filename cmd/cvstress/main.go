@@ -29,7 +29,27 @@
 //	                 -faultrate and -duration bound the storm. On failure
 //	                 the exact replay command is printed.
 //
-// Exit status is non-zero if any anomaly is detected.
+//	-mode blackbox   seeded action scripts drive the facility layer (task
+//	                 queue, bounded queue, pool, barrier, broadcast
+//	                 rounds) while an expected-state oracle
+//	                 (internal/oracle) shadows every operation. -state
+//	                 persists the oracle's journal and periodic snapshots
+//	                 for SIGKILL crash testing (cmd/crashtest); -recover
+//	                 audits the previous run's state first; -buglostwake
+//	                 injects an intentional lost-wakeup bug the gate must
+//	                 catch. DESIGN.md §14.
+//
+// Exit status taxonomy (all modes):
+//
+//	0  clean run
+//	1  setup error (unknown mode, bad flags, unusable state dir)
+//	2  invariant violation / oracle divergence
+//	3  timeout: a facility hung or a waiter stayed parked through the drain
+//
+// Every non-zero exit prints a "replay:" line naming the exact command
+// that reproduces the run. SIGTERM/SIGINT initiate a graceful drain: the
+// duration-bounded loops end early, the facilities are drained and
+// closed, and the run exits 0 with its parked-waiter count reported.
 package main
 
 import (
@@ -38,8 +58,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -53,47 +75,153 @@ import (
 	"repro/internal/syncx"
 )
 
+// Exit codes (see the package comment).
+const (
+	exitOK        = 0
+	exitSetup     = 1
+	exitInvariant = 2
+	exitStuck     = 3
+)
+
+// worseCode picks the more severe of two exit codes: invariant
+// violations outrank stuck waiters, which outrank setup errors.
+func worseCode(a, b int) int {
+	rank := func(c int) int {
+		switch c {
+		case exitInvariant:
+			return 3
+		case exitStuck:
+			return 2
+		case exitSetup:
+			return 1
+		}
+		return 0
+	}
+	if rank(b) > rank(a) {
+		return b
+	}
+	return a
+}
+
+// stopFlag is set by the first SIGTERM/SIGINT: duration-bounded loops
+// treat it as an early deadline, so the run drains gracefully instead of
+// dying mid-workload.
+var stopFlag atomic.Bool
+
+// running reports whether a duration-bounded soak loop should continue.
+func running(deadline time.Time) bool {
+	return !stopFlag.Load() && time.Now().Before(deadline)
+}
+
+// waitUntil polls cond until it holds or d elapses.
+func waitUntil(cond func() bool, d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return true
+}
+
+// awaitOrStuck runs wait in the background and reports false if it has
+// not returned within d — the caller treats that as a hung facility.
+func awaitOrStuck(d time.Duration, wait func()) bool {
+	done := make(chan struct{})
+	go func() { wait(); close(done) }()
+	select {
+	case <-done:
+		return true
+	case <-time.After(d):
+		return false
+	}
+}
+
 func main() {
-	mode := flag.String("mode", "spurious", "spurious | wakeup | storm | timed | chaos")
+	mode := flag.String("mode", "spurious", "spurious | wakeup | storm | timed | chaos | blackbox")
 	goroutines := flag.Int("goroutines", 8, "concurrency level")
 	iters := flag.Int("iters", 2000, "iterations / items per goroutine")
 	baseline := flag.Bool("baseline", false, "spurious mode: use the pthread baseline with injection")
-	seed := flag.Uint64("seed", 0xC4A05, "chaos mode: fault injector seed")
-	faultrate := flag.Float64("faultrate", 0.2, "chaos mode: per-hook-point injection probability")
-	duration := flag.Duration("duration", 2*time.Second, "chaos mode: soak time per system")
+	seed := flag.Uint64("seed", 0xC4A05, "chaos/blackbox mode: workload + fault injector seed")
+	faultrate := flag.Float64("faultrate", 0.2, "chaos/blackbox mode: per-hook-point injection probability (0 disables)")
+	duration := flag.Duration("duration", 2*time.Second, "chaos/blackbox mode: soak time per system")
 	introspectAddr := flag.String("introspect", "", "serve /debug/cv/* live-introspection endpoints on this address (e.g. 127.0.0.1:0)")
-	dumpDir := flag.String("dumpdir", "", "chaos mode: flight-recorder dump directory (default: system temp)")
+	dumpDir := flag.String("dumpdir", "", "chaos/blackbox mode: flight-recorder dump directory (default: system temp)")
+	stateDir := flag.String("state", "", "blackbox mode: oracle state directory (journal + periodic snapshots) for crash testing")
+	checkpoint := flag.Duration("checkpoint", 100*time.Millisecond, "blackbox mode: snapshot interval when -state is set")
+	recoverRun := flag.Bool("recover", false, "blackbox mode: audit the previous run's -state before soaking as the next incarnation")
+	bugLostWake := flag.Bool("buglostwake", false, "blackbox mode: inject an intentional lost-wakeup bug (broadcasts wake one waiter short) that the oracle gate must catch")
 	flag.Parse()
+
+	// First SIGTERM/SIGINT drains gracefully; a second one gets the
+	// default (fatal) disposition back.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "cvstress: %v: draining\n", s)
+		stopFlag.Store(true)
+		signal.Stop(sigc)
+	}()
 
 	if *introspectAddr != "" {
 		srv, err := introspect.Start(introspect.Options{Addr: *introspectAddr, DumpDir: *dumpDir})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cvstress:", err)
-			os.Exit(2)
+			os.Exit(exitSetup)
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "cvstress: introspect: listening on %s\n", srv.Addr())
 	}
 
-	var failed bool
+	code := exitOK
+	fail := func(ok bool) {
+		if !ok {
+			code = exitInvariant
+		}
+	}
 	switch *mode {
 	case "spurious":
-		failed = !runSpurious(*goroutines, *baseline)
+		fail(runSpurious(*goroutines, *baseline))
 	case "wakeup":
-		failed = !runWakeup(*goroutines, *iters)
+		fail(runWakeup(*goroutines, *iters))
 	case "storm":
-		failed = !runStorm(*goroutines, *iters)
+		fail(runStorm(*goroutines, *iters))
 	case "timed":
-		failed = !runTimed(*iters)
+		fail(runTimed(*iters))
 	case "chaos":
-		failed = !runChaos(*goroutines, *seed, *faultrate, *duration, *dumpDir)
+		code = runChaos(*goroutines, *seed, *faultrate, *duration, *dumpDir)
+	case "blackbox":
+		code = runBlackbox(blackboxConfig{
+			goroutines:  *goroutines,
+			seed:        *seed,
+			faultrate:   *faultrate,
+			duration:    *duration,
+			dumpDir:     *dumpDir,
+			stateDir:    *stateDir,
+			checkpoint:  *checkpoint,
+			recoverRun:  *recoverRun,
+			bugLostWake: *bugLostWake,
+		})
 	default:
 		fmt.Fprintf(os.Stderr, "cvstress: unknown mode %q\n", *mode)
-		os.Exit(2)
+		os.Exit(exitSetup)
 	}
-	if failed {
-		fmt.Println("RESULT: FAIL")
-		os.Exit(1)
+	if code != exitOK {
+		replay := fmt.Sprintf("go run ./cmd/cvstress -mode %s -seed %d -goroutines %d", *mode, *seed, *goroutines)
+		switch *mode {
+		case "chaos", "blackbox":
+			replay += fmt.Sprintf(" -faultrate %g -duration %s", *faultrate, *duration)
+			if *bugLostWake {
+				replay += " -buglostwake"
+			}
+		default:
+			replay += fmt.Sprintf(" -iters %d", *iters)
+		}
+		fmt.Printf("replay: %s\n", replay)
+		fmt.Printf("RESULT: FAIL (exit %d)\n", code)
+		os.Exit(code)
 	}
 	fmt.Println("RESULT: OK")
 }
@@ -315,7 +443,7 @@ func chaosRules(seed uint64, rate float64) *fault.Injector {
 // duplicated, checked by count, sum and sum-of-squares) with concurrent timed-wait and
 // context-cancellation race probes, all on the same engine the injector
 // is attacking.
-func runChaos(goroutines int, seed uint64, rate float64, dur time.Duration, dumpDir string) bool {
+func runChaos(goroutines int, seed uint64, rate float64, dur time.Duration, dumpDir string) int {
 	// Chaos always runs fully instrumented: every engine, condvar and
 	// fault point registers into the process registry (scraped live when
 	// -introspect is up), a tracer records the event lifecycle, and a
@@ -332,15 +460,11 @@ func runChaos(goroutines int, seed uint64, rate float64, dur time.Duration, dump
 	// /debug/cv/conflicts (the verify.sh attribution smoke asserts it).
 	stm.SetProfiling(true)
 	rec := introspect.NewRecorder(dumpDir, reg, 4096)
-	ok := true
+	code := exitOK
 	for _, kind := range []facility.Kind{facility.LockTM, facility.Txn} {
-		if !runChaosKind(kind, goroutines, seed, rate, dur, reg, rec) {
-			ok = false
-		}
+		code = worseCode(code, runChaosKind(kind, goroutines, seed, rate, dur, reg, rec))
 	}
-	if !ok {
-		fmt.Printf("replay: go run ./cmd/cvstress -mode chaos -seed %d -faultrate %g -duration %s -goroutines %d\n",
-			seed, rate, dur, goroutines)
+	if code != exitOK {
 		if path, err := rec.Trigger("chaos-failure", map[string]any{
 			"seed": seed, "faultrate": rate, "goroutines": goroutines,
 		}); err == nil && path != "" {
@@ -349,10 +473,10 @@ func runChaos(goroutines int, seed uint64, rate float64, dur time.Duration, dump
 			fmt.Fprintln(os.Stderr, "cvstress: flight dump failed:", err)
 		}
 	}
-	return ok
+	return code
 }
 
-func runChaosKind(kind facility.Kind, goroutines int, seed uint64, rate float64, dur time.Duration, reg *registry.Registry, rec *introspect.Recorder) bool {
+func runChaosKind(kind facility.Kind, goroutines int, seed uint64, rate float64, dur time.Duration, reg *registry.Registry, rec *introspect.Recorder) int {
 	e := stm.NewEngine(stm.Config{Name: "chaos/" + kind.Short()})
 	in := chaosRules(seed, rate)
 	e.SetFault(in)
@@ -386,7 +510,7 @@ func runChaosKind(kind facility.Kind, goroutines int, seed uint64, rate float64,
 		prodWg.Add(1)
 		go func() {
 			defer prodWg.Done()
-			for i := 0; time.Now().Before(deadline); i++ {
+			for i := 0; running(deadline); i++ {
 				x := p<<24 | i
 				q.Put(x)
 				produced.Add(1)
@@ -422,7 +546,7 @@ func runChaosKind(kind facility.Kind, goroutines int, seed uint64, rate float64,
 		hotWg.Add(1)
 		go func() {
 			defer hotWg.Done()
-			for time.Now().Before(deadline) {
+			for running(deadline) {
 				e.MustAtomic(func(tx *stm.Tx) {
 					tx.SetLabel("chaos.hot-probe")
 					stm.Write(tx, hot, stm.Read(tx, hot)+1)
@@ -448,7 +572,7 @@ func runChaosKind(kind facility.Kind, goroutines int, seed uint64, rate float64,
 	var m syncx.Mutex
 	var races, lost, spurious int
 	var cancels, cancelRaces int
-	for i := 0; time.Now().Before(deadline); i++ {
+	for i := 0; running(deadline); i++ {
 		// Timed probe (every iteration): notify vs a short timeout.
 		res := make(chan bool, 1)
 		go func(d time.Duration) {
@@ -547,11 +671,11 @@ func runChaosKind(kind facility.Kind, goroutines int, seed uint64, rate float64,
 	// then for consumption to catch up, and only then close the queue.
 	hotWg.Wait()
 	prodWg.Wait()
-	for consumed.Load() < produced.Load() {
-		time.Sleep(time.Millisecond)
-	}
+	drained := waitUntil(func() bool { return consumed.Load() >= produced.Load() }, 30*time.Second)
 	q.Close()
-	consWg.Wait()
+	if drained {
+		consWg.Wait()
+	}
 
 	conserved := produced.Load() == consumed.Load() &&
 		prodSum.Load() == consSum.Load() && prodSq.Load() == consSq.Load()
@@ -560,5 +684,13 @@ func runChaosKind(kind facility.Kind, goroutines int, seed uint64, rate float64,
 		kind, produced.Load(), conserved, races, cancelRaces, cancels, lost, spurious,
 		broadcasts, bwoken, bstuck,
 		in.FiredTotal(), e.Health(), e.Stats.Commits.Load(), e.Stats.Aborts.Load(), e.Stats.SerialCommits.Load())
-	return kindOK
+	if !drained {
+		fmt.Printf("%-22s: STUCK in queue drain (consumed %d of %d produced)\n",
+			kind, consumed.Load(), produced.Load())
+		return exitStuck
+	}
+	if !kindOK {
+		return exitInvariant
+	}
+	return exitOK
 }

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// regressionSeeds mirrors regression_seeds.json at the repo root: the
+// recorded past-failure (and gate) seeds, each replayed through the
+// blackbox oracle harness. See the file's comment field for the
+// maintenance protocol.
+type regressionSeeds struct {
+	Schema string `json:"schema"`
+	Seeds  []struct {
+		Seed       uint64  `json:"seed"`
+		Mode       string  `json:"mode"`
+		Faultrate  float64 `json:"faultrate"`
+		DurationMS int     `json:"duration_ms"`
+		Goroutines int     `json:"goroutines"`
+		Reason     string  `json:"reason"`
+	} `json:"seeds"`
+}
+
+// TestRegressionSeeds replays every recorded seed and requires a clean
+// exit: a regression that re-opens a fixed bug fails its seed's subtest
+// with the divergence output and the replay command.
+func TestRegressionSeeds(t *testing.T) {
+	bin := testBinary(t)
+	raw, err := os.ReadFile(filepath.Join("..", "..", "regression_seeds.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rs regressionSeeds
+	if err := json.Unmarshal(raw, &rs); err != nil {
+		t.Fatalf("regression_seeds.json: %v", err)
+	}
+	if rs.Schema != "cv-regression-seeds/v1" {
+		t.Fatalf("unknown schema %q", rs.Schema)
+	}
+	if len(rs.Seeds) == 0 {
+		t.Fatal("no seeds recorded")
+	}
+	for _, s := range rs.Seeds {
+		s := s
+		t.Run(fmt.Sprintf("seed=%d", s.Seed), func(t *testing.T) {
+			if s.Mode != "blackbox" {
+				t.Fatalf("unsupported mode %q", s.Mode)
+			}
+			args := []string{
+				"-mode", s.Mode,
+				"-seed", fmt.Sprint(s.Seed),
+				"-faultrate", fmt.Sprint(s.Faultrate),
+				"-duration", (time.Duration(s.DurationMS) * time.Millisecond).String(),
+				"-goroutines", fmt.Sprint(s.Goroutines),
+			}
+			out, err := exec.Command(bin, args...).CombinedOutput()
+			if code := exitCode(t, err); code != 0 {
+				t.Fatalf("seed %d regressed (%s): exit %d\n%s", s.Seed, s.Reason, code, out)
+			}
+			if !strings.Contains(string(out), "divergences=0") {
+				t.Fatalf("seed %d: no clean summary:\n%s", s.Seed, out)
+			}
+		})
+	}
+}

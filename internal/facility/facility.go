@@ -42,6 +42,10 @@ type Cond interface {
 	// signals serially.
 	SignalN(n int)
 	Broadcast()
+	// Waiters reports how many threads are currently enqueued — the
+	// quiesce hook the black-box harness uses to assert that a drained
+	// workload leaves zero parked waiters behind.
+	Waiters() int
 }
 
 // Static interface-satisfaction checks.
@@ -121,7 +125,18 @@ type Toolkit struct {
 	// conflict tables (DESIGN.md §13).
 	Label string
 
+	// Journal, when non-nil, receives the completion journal of every
+	// task queue this toolkit builds (see Journal); keys are the
+	// facility kind under the Label prefix ("taskq" → "<Label>.taskq").
+	Journal Journal
+
 	cvSeq atomic.Uint64
+
+	// Condvars handed out by this toolkit, tracked for Waiters() — the
+	// drain/quiesce check of the black-box harness (DESIGN.md §14).
+	trackMu  syncx.Mutex
+	trackCVs []*core.CondVar
+	trackPCs []*pthreadcv.Cond
 }
 
 // label applies the toolkit's Label prefix to an attribution name.
@@ -138,7 +153,11 @@ func (tk *Toolkit) label(name string) string {
 func (tk *Toolkit) NewCond() Cond {
 	switch tk.Kind {
 	case LockPthread:
-		return pthreadcv.New(tk.Spurious)
+		c := pthreadcv.New(tk.Spurious)
+		tk.trackMu.Lock()
+		tk.trackPCs = append(tk.trackPCs, c)
+		tk.trackMu.Unlock()
+		return c
 	case LockTM:
 		return core.NewLockCond(tk.NewCondVar())
 	default:
@@ -160,7 +179,30 @@ func (tk *Toolkit) NewCondVar() *core.CondVar {
 		cv.RegisterIntrospect(tk.Introspect,
 			fmt.Sprintf("%s/cv%d", tk.IntrospectPrefix, seq))
 	}
+	tk.trackMu.Lock()
+	tk.trackCVs = append(tk.trackCVs, cv)
+	tk.trackMu.Unlock()
 	return cv
+}
+
+// Waiters sums the parked-waiter counts of every condvar this toolkit has
+// handed out — the quiesce hook: after a workload has drained and closed
+// its facilities, a non-zero result means a waiter was stranded (a lost
+// wake-up or a leaked park). Counts are racy snapshots, so only call this
+// once the workload is quiescent.
+func (tk *Toolkit) Waiters() int {
+	tk.trackMu.Lock()
+	cvs := tk.trackCVs
+	pcs := tk.trackPCs
+	tk.trackMu.Unlock()
+	n := 0
+	for _, cv := range cvs {
+		n += cv.Len()
+	}
+	for _, c := range pcs {
+		n += c.Waiters()
+	}
+	return n
 }
 
 // NewCondNamed is NewCond with an attribution name for the TM-backed

@@ -1,0 +1,65 @@
+package facility
+
+import "sync/atomic"
+
+// Journal receives the facility layer's completion journal: the external
+// record of which tasks entered a facility and which finished, written so
+// an out-of-process oracle (internal/oracle) can audit the facility
+// against an expected-state model — including across a SIGKILL, where the
+// facility's own in-memory counters die with the process.
+//
+// Ordering contract: TaskSubmitted is called before the task can become
+// visible to any worker, and TaskCompleted after the task's body has
+// returned (the queue's internal pending count may decrement slightly
+// later, but Drain cannot return before every submitted task's
+// TaskCompleted has been delivered). A process killed between the two
+// calls leaves a submitted-but-never-completed record, which is exactly
+// the in-flight window the oracle's recovery pass tolerates.
+type Journal interface {
+	TaskSubmitted(key string, id uint64)
+	TaskCompleted(key string, id uint64)
+}
+
+// journalBinding wires one facility instance to the toolkit's Journal
+// under a stable key. The zero value is a disabled binding.
+type journalBinding struct {
+	j   Journal
+	key string
+	seq atomic.Uint64
+}
+
+// bind attaches the toolkit's journal (if any) under the facility kind's
+// labelled key, e.g. "bb.taskq".
+func (b *journalBinding) bind(tk *Toolkit, kind string) {
+	if tk.Journal != nil {
+		b.j = tk.Journal
+		b.key = tk.label(kind)
+	}
+}
+
+// wrap assigns the task the next id, records its submission, and returns
+// the task wrapped to record completion after the body runs. With no
+// journal bound it returns the task untouched.
+func (b *journalBinding) wrap(task func()) func() {
+	if b.j == nil {
+		return task
+	}
+	id := b.seq.Add(1)
+	b.j.TaskSubmitted(b.key, id)
+	return func() {
+		task()
+		b.j.TaskCompleted(b.key, id)
+	}
+}
+
+// wrapAll is wrap over a batch; the input slice is not mutated.
+func (b *journalBinding) wrapAll(tasks []func()) []func() {
+	if b.j == nil {
+		return tasks
+	}
+	out := make([]func(), len(tasks))
+	for i, t := range tasks {
+		out[i] = b.wrap(t)
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package facility
+
+import (
+	"sync"
+	"testing"
+)
+
+// fakeJournal records every submission/completion, checking the ordering
+// contract: an id must be submitted before it completes, and each event
+// must happen exactly once.
+type fakeJournal struct {
+	mu        sync.Mutex
+	submitted map[string]map[uint64]int
+	completed map[string]map[uint64]int
+}
+
+func newFakeJournal() *fakeJournal {
+	return &fakeJournal{
+		submitted: map[string]map[uint64]int{},
+		completed: map[string]map[uint64]int{},
+	}
+}
+
+func bump(m map[string]map[uint64]int, key string, id uint64) {
+	if m[key] == nil {
+		m[key] = map[uint64]int{}
+	}
+	m[key][id]++
+}
+
+func (f *fakeJournal) TaskSubmitted(key string, id uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	bump(f.submitted, key, id)
+}
+
+func (f *fakeJournal) TaskCompleted(key string, id uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.submitted[key][id] == 0 {
+		panic("journal: completion before submission")
+	}
+	bump(f.completed, key, id)
+}
+
+func TestTaskQueueJournal(t *testing.T) {
+	forEachKind(t, func(t *testing.T, tk *Toolkit) {
+		j := newFakeJournal()
+		tk.Journal = j
+		tk.Label = "bb"
+		q := NewTaskQueue(tk, 4)
+		const single, batch = 40, 24
+		var ran sync.WaitGroup
+		ran.Add(single + batch)
+		task := func() { ran.Done() }
+		for i := 0; i < single; i++ {
+			q.Submit(task)
+		}
+		tasks := make([]func(), batch)
+		for i := range tasks {
+			tasks[i] = task
+		}
+		q.SubmitBatch(tasks)
+		q.Drain()
+		ran.Wait()
+		if p := q.Pending(); p != 0 {
+			t.Fatalf("Pending after Drain = %d", p)
+		}
+		q.Close()
+		if w := tk.Waiters(); w != 0 {
+			t.Fatalf("Waiters after Close = %d", w)
+		}
+
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		subs := j.submitted["bb.taskq"]
+		comps := j.completed["bb.taskq"]
+		if len(subs) != single+batch || len(comps) != single+batch {
+			t.Fatalf("journal ids: %d submitted, %d completed, want %d each",
+				len(subs), len(comps), single+batch)
+		}
+		for id, n := range subs {
+			if n != 1 {
+				t.Fatalf("id %d submitted %d times", id, n)
+			}
+			if comps[id] != 1 {
+				t.Fatalf("id %d completed %d times", id, comps[id])
+			}
+		}
+	})
+}
+
+// TestTaskQueueNoJournal checks the zero-value binding is a no-op path.
+func TestTaskQueueNoJournal(t *testing.T) {
+	forEachKind(t, func(t *testing.T, tk *Toolkit) {
+		q := NewTaskQueue(tk, 2)
+		var n sync.WaitGroup
+		n.Add(10)
+		for i := 0; i < 10; i++ {
+			q.Submit(func() { n.Done() })
+		}
+		q.Drain()
+		n.Wait()
+		if p := q.Pending(); p != 0 {
+			t.Fatalf("Pending after Drain = %d", p)
+		}
+		q.Close()
+	})
+}

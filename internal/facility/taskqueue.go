@@ -25,6 +25,10 @@ type TaskQueue interface {
 	// Drain blocks until every previously submitted task has finished
 	// executing.
 	Drain()
+	// Pending reports how many submitted tasks have not yet finished —
+	// the drain/quiesce hook: once submitters have stopped and Drain
+	// returned, a non-zero count means work was lost.
+	Pending() int
 	// Close stops the workers after the queue empties and waits for them
 	// to exit.
 	Close()
@@ -57,6 +61,7 @@ type lockTaskQueue struct {
 	closed    bool
 	workers   int
 	exited    int
+	j         journalBinding
 }
 
 func newLockTaskQueue(tk *Toolkit, workers int) *lockTaskQueue {
@@ -65,6 +70,7 @@ func newLockTaskQueue(tk *Toolkit, workers int) *lockTaskQueue {
 		idle:      tk.NewCond(),
 		workers:   workers,
 	}
+	q.j.bind(tk, "taskq")
 	for i := 0; i < workers; i++ {
 		go q.worker()
 	}
@@ -72,6 +78,7 @@ func newLockTaskQueue(tk *Toolkit, workers int) *lockTaskQueue {
 }
 
 func (q *lockTaskQueue) Submit(task func()) {
+	task = q.j.wrap(task) // journal the submission before it is visible
 	q.mu.Lock()
 	q.tasks = append(q.tasks, task)
 	q.pending++
@@ -83,11 +90,18 @@ func (q *lockTaskQueue) SubmitBatch(tasks []func()) {
 	if len(tasks) == 0 {
 		return
 	}
+	tasks = q.j.wrapAll(tasks)
 	q.mu.Lock()
 	q.tasks = append(q.tasks, tasks...)
 	q.pending += len(tasks)
 	q.workAvail.SignalN(len(tasks))
 	q.mu.Unlock()
+}
+
+func (q *lockTaskQueue) Pending() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pending
 }
 
 func (q *lockTaskQueue) worker() {
@@ -164,6 +178,7 @@ type txnTaskQueue struct {
 	workAvail *core.CondVar
 	idle      *core.CondVar
 	workers   int
+	j         journalBinding
 }
 
 func newTxnTaskQueue(tk *Toolkit, workers int) *txnTaskQueue {
@@ -178,6 +193,7 @@ func newTxnTaskQueue(tk *Toolkit, workers int) *txnTaskQueue {
 		idle:      tk.NewCondVarNamed("taskq.idle"),
 		workers:   workers,
 	}
+	q.j.bind(tk, "taskq")
 	for i := 0; i < workers; i++ {
 		go q.worker()
 	}
@@ -185,6 +201,7 @@ func newTxnTaskQueue(tk *Toolkit, workers int) *txnTaskQueue {
 }
 
 func (q *txnTaskQueue) Submit(task func()) {
+	task = q.j.wrap(task) // journal the submission before it is visible
 	q.e.MustAtomic(func(tx *stm.Tx) {
 		ts := stm.Read(tx, q.tasks)
 		nts := make([]func(), len(ts), len(ts)+1)
@@ -199,6 +216,7 @@ func (q *txnTaskQueue) SubmitBatch(tasks []func()) {
 	if len(tasks) == 0 {
 		return
 	}
+	tasks = q.j.wrapAll(tasks)
 	q.e.MustAtomic(func(tx *stm.Tx) {
 		ts := stm.Read(tx, q.tasks)
 		nts := make([]func(), len(ts), len(ts)+len(tasks))
@@ -250,6 +268,14 @@ func (q *txnTaskQueue) worker() {
 			}
 		})
 	}
+}
+
+func (q *txnTaskQueue) Pending() int {
+	var p int
+	q.e.MustAtomic(func(tx *stm.Tx) {
+		p = stm.Read(tx, q.pending)
+	})
+	return p
 }
 
 func (q *txnTaskQueue) Drain() {

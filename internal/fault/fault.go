@@ -299,6 +299,18 @@ func mix(seed uint64, p Point, n uint64) uint64 {
 	return x
 }
 
+// DeriveSeed maps a base seed and a restart incarnation to the seed that
+// incarnation's injector runs with. The crash tester restarts the stress
+// process with the same -seed; deriving the armed seed from (seed,
+// incarnation) keeps every incarnation's fault sequence deterministic and
+// replayable while preventing each restart from replaying the exact fault
+// schedule of the run it is recovering from. The point argument to mix is
+// NumPoints — outside the hook-point range — so derived seeds never
+// collide with any incarnation's own per-point decision stream.
+func DeriveSeed(base, incarnation uint64) uint64 {
+	return mix(base, NumPoints, incarnation)
+}
+
 // Sequence returns the first n decisions point p would draw under the
 // current configuration, without consuming the live counters — the
 // reference the reproducibility tests (and a failure replay) compare a

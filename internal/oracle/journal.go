@@ -1,0 +1,146 @@
+package oracle
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Op is a journaled event type. The two-letter codes keep record lines
+// short — the journal is written synchronously on the workload's hot
+// path.
+type Op string
+
+const (
+	OpTaskSubmit    Op = "ts" // task became visible to workers
+	OpTaskComplete  Op = "tc" // task body finished
+	OpItemPutStart  Op = "ps" // producer about to Put
+	OpItemPutDone   Op = "pd" // Put returned true
+	OpItemPutClosed Op = "px" // Put returned false (queue closed)
+	OpItemGot       Op = "ig" // consumer received the item
+)
+
+// Record is one journal line. Seq totally orders records against
+// snapshots: effects with Seq <= Snapshot.Seq are inside the snapshot.
+type Record struct {
+	Seq uint64 `json:"s"`
+	Op  Op     `json:"op"`
+	Key string `json:"k"`
+	ID  uint64 `json:"id"`
+}
+
+// Journal is the crash-surviving completion journal: one JSON record per
+// line, appended with a single write syscall under a mutex, never
+// buffered in user space. A SIGKILL therefore loses nothing already
+// appended (the page cache survives process death; this guards against
+// process kills, not power loss) and can tear at most the line being
+// written, which LoadJournal tolerates.
+type Journal struct {
+	mu  sync.Mutex
+	f   *os.File
+	n   uint64
+	err error // first write error, reported at shutdown
+}
+
+// CreateJournal creates (truncating) the journal at path.
+func CreateJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: create journal: %w", err)
+	}
+	return &Journal{f: f}, nil
+}
+
+// Append writes one record. Errors are sticky and surfaced by Err —
+// the stress harness checks at shutdown rather than on the hot path.
+func (j *Journal) Append(r Record) {
+	line, err := json.Marshal(r)
+	if err != nil {
+		j.setErr(err)
+		return
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	if j.err == nil {
+		if _, err := j.f.Write(line); err != nil {
+			j.err = err
+		} else {
+			j.n++
+		}
+	}
+	j.mu.Unlock()
+}
+
+func (j *Journal) setErr(err error) {
+	j.mu.Lock()
+	if j.err == nil {
+		j.err = err
+	}
+	j.mu.Unlock()
+}
+
+// Records returns how many records were appended successfully.
+func (j *Journal) Records() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Err returns the first write error, if any.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return j.err
+	}
+	err := j.f.Close()
+	j.f = nil
+	if j.err != nil {
+		return j.err
+	}
+	return err
+}
+
+// LoadJournal reads a journal written by a (possibly SIGKILLed) run.
+// Records come back sorted by Seq — concurrent appenders may commit
+// sequence numbers out of file order. A final line that does not parse is
+// the torn tail of an interrupted write and is dropped (tornTail=true); a
+// malformed line anywhere else is real corruption and errors.
+func LoadJournal(path string) (recs []Record, tornTail bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	lines := bytes.Split(data, []byte{'\n'})
+	for i, line := range lines {
+		if len(line) == 0 {
+			continue
+		}
+		var r Record
+		if jerr := json.Unmarshal(line, &r); jerr != nil {
+			if i == len(lines)-1 {
+				tornTail = true
+				continue
+			}
+			return nil, false, fmt.Errorf("oracle: journal %s: corrupt record on line %d: %w", path, i+1, jerr)
+		}
+		recs = append(recs, r)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+	return recs, tornTail, nil
+}
+
+// ErrNoState marks a recovery attempt over a directory with neither
+// snapshot nor journal (e.g. a crash before the workload started).
+var ErrNoState = errors.New("oracle: no persisted state")

@@ -1,0 +1,209 @@
+package oracle
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// drive runs a small deterministic workload against o: n tasks and n
+// items through key "tq"/"q", completing/consuming only the first done
+// of them.
+func drive(o *Oracle, n, done int) {
+	for i := 1; i <= n; i++ {
+		id := uint64(i)
+		o.TaskSubmitted("tq", id)
+		o.ItemPutStart("q", id)
+		o.ItemPutDone("q", id, true)
+	}
+	for i := 1; i <= done; i++ {
+		id := uint64(i)
+		o.TaskCompleted("tq", id)
+		o.ItemGot("q", id)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	o := New(42)
+	o.SetIncarnation(3)
+	drive(o, 10, 7)
+	path := filepath.Join(dir, SnapshotFile)
+	if err := o.SaveAtomic(path); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 42 || s.Incarnation != 3 {
+		t.Fatalf("snapshot meta = seed %d inc %d", s.Seed, s.Incarnation)
+	}
+	o2 := FromSnapshot(s)
+	tot, tot2 := o.Totals(), o2.Totals()
+	if tot != tot2 {
+		t.Fatalf("restored totals %+v != original %+v", tot2, tot)
+	}
+	if tot2.PendingTasks != 3 || tot2.OpenItems != 3 {
+		t.Fatalf("restored in-flight wrong: %+v", tot2)
+	}
+}
+
+func TestJournalTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, JournalFile)
+	j, err := CreateJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := New(1)
+	o.SetJournal(j)
+	drive(o, 5, 5)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a SIGKILL mid-write: a partial record with no newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"s":999,"op":"tc","k":"t`)
+	f.Close()
+
+	recs, torn, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !torn {
+		t.Fatal("torn tail not detected")
+	}
+	if len(recs) != 25 { // drive journals 3n + 2·done records
+		t.Fatalf("records = %d, want 25", len(recs))
+	}
+}
+
+func TestJournalMidCorruptionErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, JournalFile)
+	os.WriteFile(path, []byte("{\"s\":1,\"op\":\"ts\",\"k\":\"tq\",\"id\":1}\ngarbage\n{\"s\":2,\"op\":\"tc\",\"k\":\"tq\",\"id\":1}\n"), 0o644)
+	if _, _, err := LoadJournal(path); err == nil {
+		t.Fatal("mid-file corruption not reported")
+	}
+}
+
+func TestRecoverSnapshotPlusJournalSuffix(t *testing.T) {
+	dir := t.TempDir()
+	j, err := CreateJournal(filepath.Join(dir, JournalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := New(7)
+	o.SetJournal(j)
+
+	// Phase 1: journaled and checkpointed.
+	drive(o, 8, 4)
+	if err := o.SaveAtomic(filepath.Join(dir, SnapshotFile)); err != nil {
+		t.Fatal(err)
+	}
+	// Phase 2: journaled only — the checkpoint window. Then the process
+	// "dies" (we simply stop, leaving the files as a SIGKILL would).
+	for i := 5; i <= 6; i++ {
+		o.TaskCompleted("tq", uint64(i))
+		o.ItemGot("q", uint64(i))
+	}
+	j.Close()
+
+	_, rep, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Divergences) != 0 {
+		t.Fatalf("divergences: %v", rep.Divergences)
+	}
+	if rep.Replayed != 4 {
+		t.Fatalf("replayed = %d, want 4 (2 completions + 2 gets past the checkpoint)", rep.Replayed)
+	}
+	// 8 submitted, 6 completed → 2 in flight; same for items.
+	if rep.PendingTasks != 2 || rep.UnconsumedItems != 2 {
+		t.Fatalf("in-flight: %+v", rep)
+	}
+	if rep.TornTail {
+		t.Fatal("clean journal reported torn")
+	}
+}
+
+func TestRecoverCatchesLogicalDivergence(t *testing.T) {
+	dir := t.TempDir()
+	j, err := CreateJournal(filepath.Join(dir, JournalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A journal claiming a task completed twice — the recovery pass must
+	// refuse to explain it no matter the in-flight tolerance.
+	j.Append(Record{Seq: 1, Op: OpTaskSubmit, Key: "tq", ID: 1})
+	j.Append(Record{Seq: 2, Op: OpTaskComplete, Key: "tq", ID: 1})
+	j.Append(Record{Seq: 3, Op: OpTaskComplete, Key: "tq", ID: 1})
+	j.Close()
+
+	_, rep, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range rep.Divergences {
+		if d.Kind == "task.unknown-complete" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("double completion not flagged: %+v", rep)
+	}
+}
+
+func TestRecoverNoState(t *testing.T) {
+	if _, _, err := Recover(t.TempDir()); !errors.Is(err, ErrNoState) {
+		t.Fatalf("err = %v, want ErrNoState", err)
+	}
+}
+
+// TestConcurrentCheckpointConsistency snapshots while the workload runs:
+// every snapshot must be internally consistent (submitted - completed ==
+// len(pending)), which only holds if the all-key locking argument in
+// Snapshot is sound. Run under -race.
+func TestConcurrentCheckpointConsistency(t *testing.T) {
+	o := New(1)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 1; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := uint64(w)<<32 | uint64(i)
+				o.TaskSubmitted("tq", id)
+				o.TaskCompleted("tq", id)
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		s := o.Snapshot()
+		k := s.Keys["tq"]
+		if k.TasksSubmitted-k.TasksCompleted != uint64(len(k.PendingTasks)) {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("inconsistent snapshot: submitted %d completed %d pending %d",
+				k.TasksSubmitted, k.TasksCompleted, len(k.PendingTasks))
+		}
+	}
+	close(stop)
+	wg.Wait()
+	wantClean(t, o)
+}

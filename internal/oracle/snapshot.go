@@ -1,0 +1,176 @@
+package oracle
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// SnapshotSchema versions the persisted snapshot format.
+const SnapshotSchema = "cv-oracle-state/v1"
+
+// Default file names inside a blackbox state directory.
+const (
+	SnapshotFile = "oracle.json"
+	JournalFile  = "journal.log"
+)
+
+// KeySnapshot is one key's persisted shadow state: the counters plus the
+// open (in-flight) id sets, which are bounded by the workload's
+// concurrency, not its length.
+type KeySnapshot struct {
+	TasksSubmitted uint64   `json:"tasks_submitted"`
+	TasksCompleted uint64   `json:"tasks_completed"`
+	PendingTasks   []uint64 `json:"pending_tasks,omitempty"`
+
+	ItemsPut      uint64           `json:"items_put"`
+	ItemsGot      uint64           `json:"items_got"`
+	ItemsRejected uint64           `json:"items_rejected"`
+	OpenItems     map[uint64]uint8 `json:"open_items,omitempty"`
+
+	CondRounds    uint64 `json:"cond_rounds"`
+	PoolRounds    uint64 `json:"pool_rounds"`
+	BarrierRounds uint64 `json:"barrier_rounds"`
+}
+
+// Snapshot is a consistent point-in-time capture of the whole model.
+// Every journal record with Seq <= Seq is reflected here; every record
+// with a greater Seq is not and must be replayed on recovery.
+type Snapshot struct {
+	Schema      string                 `json:"schema"`
+	Seed        uint64                 `json:"seed"`
+	Incarnation uint64                 `json:"incarnation"`
+	Seq         uint64                 `json:"seq"`
+	SavedAt     time.Time              `json:"saved_at"`
+	Keys        map[string]KeySnapshot `json:"keys"`
+}
+
+// Snapshot captures the model. It holds every key lock while reading the
+// sequence counter, so no event can be half-applied: an event either
+// finished (its record has Seq <= the captured Seq and its effect is
+// serialized) or has not yet drawn a sequence number (it will draw one
+// greater than the captured Seq).
+func (o *Oracle) Snapshot() Snapshot {
+	o.mu.Lock()
+	names := make([]string, 0, len(o.keys))
+	for name := range o.keys {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	states := make([]*keyState, len(names))
+	for i, name := range names {
+		states[i] = o.keys[name]
+	}
+	for _, ks := range states {
+		ks.mu.Lock()
+	}
+	s := Snapshot{
+		Schema:      SnapshotSchema,
+		Seed:        o.seed,
+		Incarnation: o.incarnation,
+		Seq:         o.seq.Load(),
+		SavedAt:     time.Now(),
+		Keys:        make(map[string]KeySnapshot, len(names)),
+	}
+	for i, ks := range states {
+		k := KeySnapshot{
+			TasksSubmitted: ks.tasksSubmitted,
+			TasksCompleted: ks.tasksCompleted,
+			ItemsPut:       ks.itemsPut,
+			ItemsGot:       ks.itemsGot,
+			ItemsRejected:  ks.itemsRejct,
+			CondRounds:     ks.condDone,
+			PoolRounds:     ks.poolDone,
+			BarrierRounds:  ks.barrierRounds,
+		}
+		if len(ks.taskPending) > 0 {
+			k.PendingTasks = firstKeys(ks.taskPending, len(ks.taskPending))
+		}
+		if len(ks.items) > 0 {
+			k.OpenItems = make(map[uint64]uint8, len(ks.items))
+			for id, st := range ks.items {
+				k.OpenItems[id] = st
+			}
+		}
+		s.Keys[names[i]] = k
+	}
+	for _, ks := range states {
+		ks.mu.Unlock()
+	}
+	o.mu.Unlock()
+	return s
+}
+
+// SaveAtomic persists the current snapshot to path by temp file + rename,
+// so a SIGKILL mid-checkpoint leaves the previous snapshot intact.
+func (o *Oracle) SaveAtomic(path string) error {
+	s := o.Snapshot()
+	data, err := json.MarshalIndent(s, "", " ")
+	if err != nil {
+		return fmt.Errorf("oracle: snapshot: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("oracle: snapshot: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("oracle: snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("oracle: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("oracle: snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot reads a snapshot written by SaveAtomic.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("oracle: snapshot %s: %w", path, err)
+	}
+	if s.Schema != SnapshotSchema {
+		return nil, fmt.Errorf("oracle: snapshot %s: schema %q, want %q", path, s.Schema, SnapshotSchema)
+	}
+	return &s, nil
+}
+
+// FromSnapshot rebuilds a model from a persisted snapshot, ready for
+// journal replay.
+func FromSnapshot(s *Snapshot) *Oracle {
+	o := New(s.Seed)
+	o.incarnation = s.Incarnation
+	o.seq.Store(s.Seq)
+	for name, k := range s.Keys {
+		ks := o.key(name)
+		ks.tasksSubmitted = k.TasksSubmitted
+		ks.tasksCompleted = k.TasksCompleted
+		for _, id := range k.PendingTasks {
+			ks.taskPending[id] = true
+		}
+		ks.itemsPut = k.ItemsPut
+		ks.itemsGot = k.ItemsGot
+		ks.itemsRejct = k.ItemsRejected
+		for id, st := range k.OpenItems {
+			ks.items[id] = st
+		}
+		ks.condDone = k.CondRounds
+		ks.poolDone = k.PoolRounds
+		ks.barrierRounds = k.BarrierRounds
+	}
+	return o
+}

@@ -26,6 +26,9 @@ func withProfiling(t *testing.T, on bool) {
 // path: with attribution off, a read-write transaction must not
 // allocate at all — same bar as the tracer's BenchmarkTraceDisabled.
 func TestProfilingDisabledNoAllocCommit(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on the measured path")
+	}
 	withProfiling(t, false)
 	e := NewEngine(Config{})
 	v := NewVarNamed(e, "guard.v", 0)

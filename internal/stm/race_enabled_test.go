@@ -1,0 +1,10 @@
+//go:build race
+
+package stm
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. The strict zero-alloc overhead guards skip under race:
+// instrumentation allocates shadow state on the measured path, so the
+// guards would flag the detector, not the engine. verify.sh still runs
+// them race-free in its dedicated overhead-guard step.
+const raceEnabled = true

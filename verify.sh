@@ -9,7 +9,14 @@
 #
 # Tier-1 (the subset CI must keep green) is `go build ./... && go test
 # ./...`; this script is the superset to run before merging.
+#
+# `./verify.sh -short` skips the time-heavy black-box/crash gates (the
+# blackbox oracle soak, the injected-bug negative gate, the SIGKILL
+# crash round and the regression-seed replay) for a quick pre-push run.
 set -eu
+
+SHORT=0
+[ "${1:-}" = "-short" ] && SHORT=1
 
 step() { printf '\n== %s\n' "$*"; }
 
@@ -59,6 +66,44 @@ go run ./cmd/modelcheck -waiters 2 -notifyall 1
 step "chaos soak (deterministic fault injection, fixed seed)"
 go test -race ./internal/fault
 go run ./cmd/cvstress -mode chaos -seed 3405691582 -faultrate 0.25 -duration 2s
+
+if [ "$SHORT" -eq 0 ]; then
+	# The blackbox gates need the real exit code (go run collapses every
+	# failure to 1), so build the binary once and run it directly.
+	CVSTRESS=/tmp/cvstress_bb.$$
+	go build -o "$CVSTRESS" ./cmd/cvstress
+
+	step "blackbox oracle gate (expected-state shadowing, fixed seed)"
+	"$CVSTRESS" -mode blackbox -seed 3405691582 -faultrate 0.25 -duration 4s -goroutines 8
+
+	step "blackbox negative gate (injected lost-wakeup bug must be caught)"
+	# The harness's own detector is gated here: -buglostwake wakes each
+	# broadcast round one waiter short, and the run MUST exit 2 with the
+	# stranded waiter named. A passing run means the oracle went blind.
+	set +e
+	"$CVSTRESS" -mode blackbox -seed 3405691582 -faultrate 0 \
+		-duration 200ms -goroutines 4 -buglostwake >/tmp/bb_neg.$$ 2>&1
+	rc=$?
+	set -e
+	[ "$rc" -eq 2 ] || {
+		echo "negative gate: expected exit 2 (invariant violation), got $rc:"
+		cat /tmp/bb_neg.$$; rm -f /tmp/bb_neg.$$ "$CVSTRESS"; exit 1;
+	}
+	grep -q 'cond.lost-wakeup' /tmp/bb_neg.$$ || {
+		echo "negative gate: lost wakeup not named:"; cat /tmp/bb_neg.$$
+		rm -f /tmp/bb_neg.$$ "$CVSTRESS"; exit 1;
+	}
+	rm -f /tmp/bb_neg.$$
+
+	step "crash round (SIGKILL under load; oracle recovery must be clean)"
+	go run ./cmd/crashtest -rounds 1 -seed 3405691582 -bin "$CVSTRESS"
+
+	step "regression seeds (replay recorded past-failure seeds)"
+	go test -run TestRegressionSeeds ./cmd/cvstress
+	rm -f "$CVSTRESS"
+else
+	step "skipping blackbox/crash gates (-short)"
+fi
 
 step "introspection smoke (live /debug/cv/* endpoints during a chaos run)"
 # Start a chaos soak with the introspection server on an ephemeral port,
