@@ -27,7 +27,11 @@
 //	                 injected fault sequence (the injector's decisions are
 //	                 a pure function of seed, point and arrival index);
 //	                 -faultrate and -duration bound the storm. On failure
-//	                 the exact replay command is printed.
+//	                 the exact replay command is printed. -trace writes
+//	                 the run's Chrome trace, validates its causal wake
+//	                 chains in-run, and prints the cvtrace command that
+//	                 analyzes it offline; failure flight dumps carry the
+//	                 trace path in their detail block.
 //
 //	-mode blackbox   seeded action scripts drive the facility layer (task
 //	                 queue, bounded queue, pool, barrier, broadcast
@@ -73,6 +77,7 @@ import (
 	"repro/internal/pthreadcv"
 	"repro/internal/stm"
 	"repro/internal/syncx"
+	"repro/internal/waketrace"
 )
 
 // Exit codes (see the package comment).
@@ -148,6 +153,8 @@ func main() {
 	duration := flag.Duration("duration", 2*time.Second, "chaos/blackbox mode: soak time per system")
 	introspectAddr := flag.String("introspect", "", "serve /debug/cv/* live-introspection endpoints on this address (e.g. 127.0.0.1:0)")
 	dumpDir := flag.String("dumpdir", "", "chaos/blackbox mode: flight-recorder dump directory (default: system temp)")
+	tracePath := flag.String("trace", "", "chaos mode: write the run's Chrome trace here and validate its wake chains (analyze with cmd/cvtrace)")
+	traceBuf := flag.Int("tracebuf", 1<<16, "chaos mode: tracer ring-buffer capacity in events")
 	stateDir := flag.String("state", "", "blackbox mode: oracle state directory (journal + periodic snapshots) for crash testing")
 	checkpoint := flag.Duration("checkpoint", 100*time.Millisecond, "blackbox mode: snapshot interval when -state is set")
 	recoverRun := flag.Bool("recover", false, "blackbox mode: audit the previous run's -state before soaking as the next incarnation")
@@ -191,7 +198,7 @@ func main() {
 	case "timed":
 		fail(runTimed(*iters))
 	case "chaos":
-		code = runChaos(*goroutines, *seed, *faultrate, *duration, *dumpDir)
+		code = runChaos(*goroutines, *seed, *faultrate, *duration, *dumpDir, *tracePath, *traceBuf)
 	case "blackbox":
 		code = runBlackbox(blackboxConfig{
 			goroutines:  *goroutines,
@@ -443,7 +450,7 @@ func chaosRules(seed uint64, rate float64) *fault.Injector {
 // duplicated, checked by count, sum and sum-of-squares) with concurrent timed-wait and
 // context-cancellation race probes, all on the same engine the injector
 // is attacking.
-func runChaos(goroutines int, seed uint64, rate float64, dur time.Duration, dumpDir string) int {
+func runChaos(goroutines int, seed uint64, rate float64, dur time.Duration, dumpDir, tracePath string, traceBuf int) int {
 	// Chaos always runs fully instrumented: every engine, condvar and
 	// fault point registers into the process registry (scraped live when
 	// -introspect is up), a tracer records the event lifecycle, and a
@@ -451,7 +458,7 @@ func runChaos(goroutines int, seed uint64, rate float64, dur time.Duration, dump
 	// to the replay line.
 	reg := registry.Default
 	if reg.Tracer() == nil {
-		tr := obs.NewTracer(1 << 16)
+		tr := obs.NewTracer(traceBuf)
 		tr.Enable()
 		reg.SetTracer(tr)
 	}
@@ -464,11 +471,45 @@ func runChaos(goroutines int, seed uint64, rate float64, dur time.Duration, dump
 	for _, kind := range []facility.Kind{facility.LockTM, facility.Txn} {
 		code = worseCode(code, runChaosKind(kind, goroutines, seed, rate, dur, reg, rec))
 	}
+	// -trace: dump the ring for offline analysis and validate the wake
+	// chains in-run. The ring keeps the last N events, so flows that
+	// began before the window lack their root — those are truncation,
+	// not corruption, and are skipped (cvtrace -check does the same).
+	detail := map[string]any{"seed": seed, "faultrate": rate, "goroutines": goroutines}
+	if tracePath != "" {
+		tr := reg.Tracer()
+		if err := func() error {
+			f, err := os.Create(tracePath)
+			if err != nil {
+				return err
+			}
+			if err := tr.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}(); err != nil {
+			fmt.Fprintln(os.Stderr, "cvstress: trace write failed:", err)
+			code = worseCode(code, exitSetup)
+		} else {
+			detail["trace"] = tracePath
+			complete, truncated := waketrace.SplitTruncated(
+				waketrace.Build(waketrace.FromObs(tr.Events())))
+			if problems := waketrace.Check(complete); len(problems) != 0 {
+				for _, p := range problems {
+					fmt.Fprintln(os.Stderr, "cvstress: wake-chain violation:", p)
+				}
+				code = worseCode(code, exitInvariant)
+			}
+			fmt.Printf("trace: %s (%d wake flows, %d truncated at window start)\n",
+				tracePath, len(complete), len(truncated))
+			fmt.Printf("analyze: go run ./cmd/cvtrace -check %s\n", tracePath)
+		}
+	}
 	if code != exitOK {
-		if path, err := rec.Trigger("chaos-failure", map[string]any{
-			"seed": seed, "faultrate": rate, "goroutines": goroutines,
-		}); err == nil && path != "" {
+		if path, err := rec.Trigger("chaos-failure", detail); err == nil && path != "" {
 			fmt.Printf("flight dump: %s\n", path)
+			fmt.Printf("analyze: go run ./cmd/cvtrace -check %s\n", path)
 		} else if err != nil {
 			fmt.Fprintln(os.Stderr, "cvstress: flight dump failed:", err)
 		}

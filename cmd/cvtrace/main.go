@@ -1,0 +1,100 @@
+// Command cvtrace is the offline wake-propagation analyzer (DESIGN.md
+// §15): point it at a Chrome trace dump (parsecbench -trace, cvstress
+// -trace) or a flight-recorder snapshot (cvflight-*.json) and it
+// reconstructs every causal wake DAG — which committed notify woke whom,
+// through which hand-off chain — and reports the critical path per
+// broadcast, slowest-hop attribution, fan-out shape, and stalls.
+//
+// Usage:
+//
+//	cvtrace [-format text|json] [-stall 1ms] [-top 10] [-check] [-strict] <dump.json>
+//
+// With -check, cvtrace only runs the structural self-validation (every
+// non-root hop has a parent, depths are consistent, consumes match the
+// batch) and exits non-zero on any violation — the verify.sh gate.
+// Bounded captures retain the last N events, so flows that began before
+// the window lack their root; those are skipped (and counted) unless
+// -strict treats them as violations too.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/waketrace"
+)
+
+func main() {
+	format := flag.String("format", "text", "output format: text or json")
+	stall := flag.Duration("stall", time.Millisecond, "flag hops whose post-to-consume gap exceeds this (0 disables)")
+	top := flag.Int("top", 10, "slowest-hop attribution entries")
+	check := flag.Bool("check", false, "structural self-validation only; exit 1 on any violation")
+	strict := flag.Bool("strict", false, "treat window-truncated flows (no root in the retained window) as violations instead of skipping them")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cvtrace [flags] <dump.json>\n\nAnalyze causal wake-propagation traces (Chrome trace or flight dump).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	evs, err := waketrace.LoadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cvtrace: %v\n", err)
+		os.Exit(1)
+	}
+	dags := waketrace.Build(evs)
+	// Bounded captures (trace rings, flight recorders) evict oldest-first,
+	// so flows that began before the retention window lack their root;
+	// skip those unless -strict says the capture was complete.
+	var truncated []*waketrace.DAG
+	if !*strict {
+		dags, truncated = waketrace.SplitTruncated(dags)
+	}
+
+	if *check {
+		problems := waketrace.Check(dags)
+		if len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintf(os.Stderr, "cvtrace: check: %s\n", p)
+			}
+			fmt.Fprintf(os.Stderr, "cvtrace: %d violation(s) across %d flow(s)\n", len(problems), len(dags))
+			os.Exit(1)
+		}
+		note := ""
+		if len(truncated) > 0 {
+			note = fmt.Sprintf(" (%d window-truncated flow(s) skipped)", len(truncated))
+		}
+		fmt.Printf("cvtrace: ok — %d flow(s), %d event(s), no structural violations%s\n", len(dags), len(evs), note)
+		return
+	}
+	if len(truncated) > 0 {
+		fmt.Fprintf(os.Stderr, "cvtrace: %d flow(s) began before the retention window; analyzing the %d complete one(s)\n", len(truncated), len(dags))
+	}
+
+	rep := waketrace.Analyze(dags, waketrace.Options{
+		StallThreshold: *stall,
+		TopHops:        *top,
+	})
+	switch *format {
+	case "json":
+		err = rep.WriteJSON(os.Stdout)
+	case "text":
+		err = rep.WriteText(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "cvtrace: unknown -format %q (want text or json)\n", *format)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cvtrace: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Problems) > 0 {
+		os.Exit(1)
+	}
+}

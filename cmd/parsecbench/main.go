@@ -55,6 +55,7 @@ import (
 	"repro/internal/obs/registry"
 	"repro/internal/parsec"
 	"repro/internal/stm"
+	"repro/internal/waketrace"
 )
 
 func main() {
@@ -193,6 +194,26 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "parsecbench: wrote trace (%d events) to %s\n",
 			cfg.Tracer.Emitted(), *tracePath)
+		// In-run causal-chain summary: reconstruct the wake DAGs straight
+		// from the ring so a broken chain is caught at the source, then
+		// point at the offline analyzer for the full critical-path report.
+		dags := waketrace.Build(waketrace.FromObs(cfg.Tracer.Events()))
+		hops, consumed, orphans := 0, 0, 0
+		for _, d := range dags {
+			hops += len(d.Hops)
+			c, _ := d.Consumed()
+			consumed += c
+			orphans += len(d.Orphans)
+		}
+		fmt.Fprintf(os.Stderr, "parsecbench: wake chains: %d flow(s), %d hop(s), %d consumed, %d orphan(s)\n",
+			len(dags), hops, consumed, orphans)
+		if problems := waketrace.Check(dags); len(problems) != 0 {
+			for _, p := range problems {
+				fmt.Fprintln(os.Stderr, "parsecbench: wake-chain violation:", p)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "parsecbench: analyze: go run ./cmd/cvtrace %s\n", *tracePath)
 	}
 	if *resultDir != "" {
 		path, err := writeResult(sw, *resultDir, *machine)

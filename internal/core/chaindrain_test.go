@@ -1,0 +1,168 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/stm"
+	"repro/internal/syncx"
+	"repro/internal/waketrace"
+)
+
+// Chain-drain edge case (DESIGN.md §15): a timeout/cancel loser in the
+// MIDDLE of a hand-off chain must still forward its successor — the
+// chain drains through it — and the consumed wake must be attributed to
+// the loser kind (by=timeout / by=cancel), not to a live waiter. The
+// reconstructed wake DAG stays structurally intact: one root, hops
+// 0..2, the loser's consume at hop 1 under the same flow id.
+//
+// Choreography: three waiters enqueue in order (A live, B a loser, C
+// live), WakeFanout 1 makes the broadcast a single chain A→B→C, and a
+// 100%-rate CVNotify delay stalls every committed post long enough that
+// B's timeout/cancel fires after the batch dequeued it but before its
+// chained post arrives — B loses the unlink race, keeps the permit, and
+// must keep the wave moving.
+func testChainDrainThroughLoser(t *testing.T, wantBy int64,
+	startLoser func(cv *CondVar, m *syncx.Mutex, res chan<- bool)) {
+	const hopStall = 50 * time.Millisecond
+
+	e := stm.NewEngine(stm.Config{})
+	in := fault.New(0xC4A15).Set(fault.CVNotify,
+		fault.Rule{Rate: 1.0, Action: fault.ActDelay, Delay: hopStall})
+	e.SetFault(in)
+	tr := obs.NewTracer(4096)
+	e.SetTracer(tr)
+	tr.Enable()
+	var st CVStats
+	cv := New(e, Options{WakeFanout: 1})
+	cv.SetStats(&st)
+
+	var m syncx.Mutex
+	live := make(chan struct{}, 2)
+	loser := make(chan bool, 1)
+	// A: live waiter, chain head.
+	go func() {
+		m.Lock()
+		// cvlint:ignore waitloop harness parks one-shot waiters by design to pin chain positions
+		cv.WaitLocked(&m)
+		m.Unlock()
+		live <- struct{}{}
+	}()
+	waitUntil(t, "A enqueued", func() bool { return cv.Depth() == 1 })
+	// B: the mid-chain loser.
+	startLoser(cv, &m, loser)
+	waitUntil(t, "B enqueued", func() bool { return cv.Depth() == 2 })
+	// C: live waiter, chain tail.
+	go func() {
+		m.Lock()
+		// cvlint:ignore waitloop harness parks one-shot waiters by design to pin chain positions
+		cv.WaitLocked(&m)
+		m.Unlock()
+		live <- struct{}{}
+	}()
+	waitUntil(t, "C enqueued", func() bool { return cv.Depth() == 3 })
+
+	in.Arm()
+	defer in.Disarm()
+	// cvlint:ignore nakednotify the test notifies with no predicate: the chain traversal itself is the subject
+	if n := cv.NotifyAll(nil); n != 3 {
+		t.Fatalf("NotifyAll woke %d, want 3", n)
+	}
+
+	deadline := time.After(30 * time.Second)
+	for i := 0; i < 2; i++ {
+		select {
+		case <-live:
+		case <-deadline:
+			t.Fatal("chain did not drain: a live waiter behind the loser never woke")
+		}
+	}
+	select {
+	case ok := <-loser:
+		if !ok {
+			t.Fatal("loser reported un-notified: its banked wake was lost")
+		}
+	case <-deadline:
+		t.Fatal("loser never returned")
+	}
+	tr.Disable()
+
+	// Consumer attribution: two live waiters, one loser of the expected
+	// kind — and the loser still counts as a completed wait.
+	snap := st.Snapshot()
+	if snap["wake_consumed_waiter"] != 2 {
+		t.Errorf("wake_consumed_waiter = %d, want 2", snap["wake_consumed_waiter"])
+	}
+	wantKey := "wake_consumed_" + obs.WakeConsumerName(wantBy)
+	if snap[wantKey] != 1 {
+		t.Errorf("%s = %d, want 1 (snapshot %v)", wantKey, snap[wantKey], snap)
+	}
+	if snap["waits"] != 3 {
+		t.Errorf("waits = %d, want 3", snap["waits"])
+	}
+	// Chain shape: depths 1, 2, 3 observed; two chained hops measured.
+	h := st.Histograms()
+	if h["wake_chain_depth"].Count != 3 || h["wake_chain_depth"].Max != 3 {
+		t.Errorf("wake_chain_depth = %+v, want 3 observations, max depth 3", h["wake_chain_depth"])
+	}
+	if h["handoff_hop_ns"].Count != 2 {
+		t.Errorf("handoff_hop_ns count = %d, want 2 (hops 1 and 2)", h["handoff_hop_ns"].Count)
+	}
+
+	// The reconstructed DAG: one flow, root batch 3, a single 3-hop
+	// chain, no orphans, the loser's consume at hop 1.
+	dags := waketrace.Build(waketrace.FromObs(tr.Events()))
+	if len(dags) != 1 {
+		t.Fatalf("reconstructed %d flows, want 1", len(dags))
+	}
+	d := dags[0]
+	if problems := waketrace.Check(dags); len(problems) != 0 {
+		t.Fatalf("structural check failed: %v", problems)
+	}
+	if d.Batch != 3 || len(d.Hops) != 3 || len(d.Roots) != 1 || d.MaxDepth() != 3 {
+		t.Fatalf("DAG shape: batch %d hops %d roots %d depth %d, want 3/3/1/3",
+			d.Batch, len(d.Hops), len(d.Roots), d.MaxDepth())
+	}
+	total, by := d.Consumed()
+	if total != 3 || by["waiter"] != 2 || by[obs.WakeConsumerName(wantBy)] != 1 {
+		t.Fatalf("consumed = %d %v, want 3 with 2 waiter + 1 %s", total, by, obs.WakeConsumerName(wantBy))
+	}
+	for _, hop := range d.Hops {
+		if hop.By == obs.WakeConsumerName(wantBy) && hop.Index != 1 {
+			t.Errorf("loser consumed at hop %d, want mid-chain hop 1", hop.Index)
+		}
+	}
+}
+
+func TestChainDrainsThroughTimeoutLoser(t *testing.T) {
+	testChainDrainThroughLoser(t, obs.WakeByTimeout,
+		func(cv *CondVar, m *syncx.Mutex, res chan<- bool) {
+			go func() {
+				m.Lock()
+				// Expires after the batch dequeue commits (instant) but
+				// before the chained post traverses two 50ms stalls.
+				// cvlint:ignore waitloop harness probes the timeout-loser drain one-shot by design
+				ok := cv.WaitLockedTimeout(m, 60*time.Millisecond)
+				m.Unlock()
+				res <- ok
+			}()
+		})
+}
+
+func TestChainDrainsThroughCancelLoser(t *testing.T) {
+	testChainDrainThroughLoser(t, obs.WakeByCancel,
+		func(cv *CondVar, m *syncx.Mutex, res chan<- bool) {
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+			go func() {
+				defer cancel()
+				m.Lock()
+				// cvlint:ignore waitloop harness probes the cancel-loser drain one-shot by design
+				ok := cv.WaitLockedCtx(m, ctx)
+				m.Unlock()
+				res <- ok
+			}()
+		})
+}

@@ -92,6 +92,18 @@ type CVStats struct {
 	WakeBatch      obs.Histogram // waiters per committed notify batch
 	BroadcastNanos obs.Histogram // ns: batch commit → last waiter resumed
 
+	// Wake-chain shape (DESIGN.md §15): how deep each consumed wake sat
+	// in its hand-off chain (1 = posted by the notifier itself), the
+	// per-hop hand-off latency for chained hops (post → consuming
+	// waiter's resume, hop index >= 1), and which kind of waiter consumed
+	// each wake — a timeout/cancel loser that kept a raced permit still
+	// drains the chain but shows up under its own consumer label.
+	WakeChainDepth      obs.Histogram // chain position of each consumed wake (hop+1)
+	HandoffHopNanos     obs.Histogram // ns: chained hop post → consume
+	WakeConsumedWaiter  stats.Counter // wakes consumed by live waiters
+	WakeConsumedTimeout stats.Counter // wakes consumed by timed-out losers
+	WakeConsumedCancel  stats.Counter // wakes consumed by cancelled losers
+
 	// Sem aggregates the node semaphores' activity (park durations live
 	// in Sem.ParkNanos). Attached to each node's semaphore lazily.
 	Sem sem.Stats
@@ -157,6 +169,26 @@ type Node struct {
 	// wake histogram. Both are nil outside a batch wake.
 	wakeNext atomic.Pointer[Node]
 	batch    atomic.Pointer[wakeBatch]
+
+	// Causal wake stamp (DESIGN.md §15), stored by the poster in
+	// wakeNode before the semaphore post and consumed (Swap(0)) by the
+	// woken owner in noteWake. The semaphore hand-off orders the stores
+	// before the owner's reads; atomics keep concurrent scrapers safe,
+	// exactly like the timestamps above. wakeID is the engine-scoped
+	// flow id minted by the committed notify; wakeHop is this node's
+	// 0-based position in its hand-off chain.
+	wakeID  atomic.Uint64
+	wakeHop atomic.Int64
+}
+
+// wakeCtx is the causal context a poster stamps onto the node it wakes:
+// the flow id of the committed notify, the poster's own node id (0 when
+// the poster is the notifier's commit handler), and the hop index the
+// woken node occupies in its chain.
+type wakeCtx struct {
+	id     uint64
+	parent uint64
+	hop    int64
 }
 
 // wakeBatch is the shared bookkeeping of one committed notify batch:
@@ -202,6 +234,15 @@ type CondVar struct {
 	// timeout unlink). Transactional aborts never touch it, so it is
 	// exact despite living outside the STM.
 	depth stats.Gauge
+
+	// Per-condvar wake-chain instruments behind RegisterChainMetrics
+	// (the named-CV view of the aggregate CVStats chain metrics).
+	// chainOn is a setup-time flag like st: when false — the default —
+	// the wake path never touches these.
+	chainOn    bool
+	chainDepth obs.Histogram
+	hopNanos   obs.Histogram
+	consumed   [3]stats.Counter // indexed by obs.WakeBy* consumer codes
 }
 
 // New creates a condition variable whose internal transactions run on e.
@@ -301,9 +342,11 @@ func (cv *CondVar) releaseNode(n *Node) {
 	n.gen.Add(1)
 	n.inQueue.Store(false)
 	// noteWake consumed these on every legal path; clear anyway so a
-	// recycled node never inherits a stale chain link or batch.
+	// recycled node never inherits a stale chain link, batch, or flow.
 	n.wakeNext.Store(nil)
 	n.batch.Store(nil)
+	n.wakeID.Store(0)
+	n.wakeHop.Store(0)
 	if cv.opts.NoNodePool {
 		return
 	}
@@ -379,10 +422,28 @@ func (cv *CondVar) Wait(s syncx.Sync, cont func(syncx.Sync)) {
 	// here must be memorized by the semaphore, never lost.
 	cv.faultWindow(fault.CVEnqueue, n.id)
 	n.sem.Wait() // line 10: sleep until notified
-	cv.noteWake(n)
+	flow, hop := cv.noteWake(n, obs.WakeByWaiter)
 	cv.releaseNode(n)
 	if cont != nil {
-		s.Exec(cont) // lines 11–13
+		s.Exec(cv.flowCont(flow, hop, cont)) // lines 11–13
+	}
+}
+
+// flowCont wraps a continuation so its re-established transaction is
+// bound into the wake DAG that resumed the waiter (an EvWakeTxn flow
+// step, commit-deferred via Tx.TraceFlow: an aborted continuation
+// attempt never claims its wake). When there is no flow to bind or the
+// tracer is disarmed it returns cont unchanged — no closure allocation
+// on the zero-overhead path.
+func (cv *CondVar) flowCont(flow uint64, hop int64, cont func(syncx.Sync)) func(syncx.Sync) {
+	if flow == 0 || !cv.e.Tracer().Enabled() {
+		return cont
+	}
+	return func(s syncx.Sync) {
+		if tx := s.Tx(); tx != nil {
+			tx.TraceFlow(obs.EvWakeTxn, flow, hop, 0)
+		}
+		cont(s)
 	}
 }
 
@@ -397,10 +458,10 @@ func (cv *CondVar) WaitTagged(s syncx.Sync, tag any, cont func(syncx.Sync)) {
 	s.End()
 	cv.faultWindow(fault.CVEnqueue, n.id)
 	n.sem.Wait()
-	cv.noteWake(n)
+	flow, hop := cv.noteWake(n, obs.WakeByWaiter)
 	cv.releaseNode(n)
 	if cont != nil {
-		s.Exec(cont)
+		s.Exec(cv.flowCont(flow, hop, cont))
 	}
 }
 
@@ -416,7 +477,7 @@ func (cv *CondVar) WaitLocked(m *syncx.Mutex) {
 	m.Unlock()
 	cv.faultWindow(fault.CVEnqueue, n.id)
 	n.sem.Wait()
-	cv.noteWake(n)
+	cv.noteWake(n, obs.WakeByWaiter)
 	cv.releaseNode(n)
 	m.Lock()
 }
@@ -437,7 +498,7 @@ func (cv *CondVar) WaitLockedTimeout(m *syncx.Mutex, d time.Duration) bool {
 	m.Unlock()
 	cv.faultWindow(fault.CVEnqueue, n.id)
 	if n.sem.WaitTimeout(d) {
-		cv.noteWake(n)
+		cv.noteWake(n, obs.WakeByWaiter)
 		cv.releaseNode(n)
 		m.Lock()
 		return true
@@ -454,9 +515,10 @@ func (cv *CondVar) WaitLockedTimeout(m *syncx.Mutex, d time.Duration) bool {
 	}
 	// A notifier got the node first; its post is banked or imminent
 	// (imminent = after its outer transaction commits). Treat as
-	// notified.
+	// notified — but attribute the consumed wake to the timed-out loser,
+	// and let noteWake keep the hand-off chain draining through it.
 	n.sem.Wait()
-	cv.noteWake(n)
+	cv.noteWake(n, obs.WakeByTimeout)
 	cv.releaseNode(n)
 	m.Lock()
 	return true
@@ -482,7 +544,7 @@ func (cv *CondVar) WaitLockedCtx(m *syncx.Mutex, ctx context.Context) bool {
 	m.Unlock()
 	cv.faultWindow(fault.CVEnqueue, n.id)
 	if n.sem.WaitCtx(ctx) {
-		cv.noteWake(n)
+		cv.noteWake(n, obs.WakeByWaiter)
 		cv.releaseNode(n)
 		m.Lock()
 		return true
@@ -500,9 +562,10 @@ func (cv *CondVar) WaitLockedCtx(m *syncx.Mutex, ctx context.Context) bool {
 	// A notifier got the node first; its post is banked or imminent
 	// (imminent = after its outer transaction commits). Consume it —
 	// abandoning it here would strand a permit in the pooled node and
-	// wake a future, unrelated waiter spuriously.
+	// wake a future, unrelated waiter spuriously. The consumed wake is
+	// attributed to the cancelled loser; its chain successor still wakes.
 	n.sem.Wait()
-	cv.noteWake(n)
+	cv.noteWake(n, obs.WakeByCancel)
 	cv.releaseNode(n)
 	m.Lock()
 	return true
@@ -524,6 +587,7 @@ func (cv *CondVar) WaitCtx(s syncx.Sync, ctx context.Context, cont func(syncx.Sy
 	cv.enqueue(s.Tx(), n)
 	s.End()
 	cv.faultWindow(fault.CVEnqueue, n.id)
+	by := obs.WakeByWaiter
 	if !n.sem.WaitCtx(ctx) {
 		if cv.removeNode(n) {
 			cv.releaseNode(n)
@@ -532,13 +596,15 @@ func (cv *CondVar) WaitCtx(s syncx.Sync, ctx context.Context, cont func(syncx.Sy
 			}
 			return false
 		}
-		// Lost the race to a notifier: treat as notified.
+		// Lost the race to a notifier: treat as notified, attributed to
+		// the cancelled loser (the chain still drains through noteWake).
 		n.sem.Wait()
+		by = obs.WakeByCancel
 	}
-	cv.noteWake(n)
+	flow, hop := cv.noteWake(n, by)
 	cv.releaseNode(n)
 	if cont != nil {
-		s.Exec(cont)
+		s.Exec(cv.flowCont(flow, hop, cont))
 	}
 	return true
 }
@@ -601,8 +667,14 @@ func (cv *CondVar) WaitTx(tx *stm.Tx) {
 	tx.CommitEarly()
 	cv.faultWindow(fault.CVEnqueue, n.id)
 	n.sem.Wait()
-	cv.noteWake(n)
+	flow, hop := cv.noteWake(n, obs.WakeByWaiter)
 	cv.releaseNode(n)
+	if flow != 0 {
+		// Bind the waiter's resumed transaction into the wake DAG. tx is
+		// post-CommitEarly, so TraceFlow emits directly on the txn lane —
+		// the code from here to the lexical end runs exactly once.
+		tx.TraceFlow(obs.EvWakeTxn, flow, hop, 0)
+	}
 }
 
 // WaitAtCommit is the second empty-continuation alternative of Section
@@ -633,18 +705,20 @@ func (cv *CondVar) WaitAtCommit(tx *stm.Tx) {
 	tx.OnCommit(func() {
 		cv.faultWindow(fault.CVEnqueue, n.id)
 		n.sem.Wait()
-		cv.noteWake(n)
+		cv.noteWake(n, obs.WakeByWaiter)
 		cv.releaseNode(n)
 	})
 }
 
 // wakeNode performs the committed post of one dequeued node: the fault
-// window, the enqueue→notify latency observation, the sempost trace
-// event, and the semaphore post itself. depth is the committed queue
-// depth the dequeue observed (0 for chained wakes, where the poster is
-// another waiter, not the notifier). Queue-depth bookkeeping belongs to
-// the caller — notifyCommitted for singles, wakeCommitted for batches.
-func (cv *CondVar) wakeNode(n *Node, depth int64) {
+// window, the enqueue→notify latency observation, the causal wake stamp,
+// the sempost trace event, and the semaphore post itself. depth is the
+// committed queue depth the dequeue observed (0 for chained wakes, where
+// the poster is another waiter, not the notifier). wk is the causal
+// context of this post — the committed notify's wakeID and this node's
+// hop position. Queue-depth bookkeeping belongs to the caller —
+// notifyCommitted for singles, wakeCommitted for batches.
+func (cv *CondVar) wakeNode(n *Node, depth int64, wk wakeCtx) {
 	// Fault hook: stall between the committed dequeue and the semaphore
 	// post — the window in which a timed-out or cancelled waiter races a
 	// wake-up it can no longer refuse.
@@ -655,11 +729,16 @@ func (cv *CondVar) wakeNode(n *Node, depth int64) {
 			cv.st.EnqueueToNotify.Observe(now - enq)
 		}
 	}
-	// Stored before Post: the semaphore hand-off orders this store before
-	// the woken waiter's read in noteWake.
+	// Stored before Post: the semaphore hand-off orders these stores
+	// before the woken waiter's reads in noteWake (DESIGN.md §15).
 	n.notifiedNS.Store(now)
+	n.wakeID.Store(wk.id)
+	n.wakeHop.Store(wk.hop)
 	if tr := cv.e.Tracer(); tr.Enabled() {
 		tr.Emit(n.id, obs.EvCVSemPost, int64(n.id), depth)
+		if wk.id != 0 {
+			tr.EmitFlow(n.id, obs.EvWakeHop, wk.id, int64(wk.parent), wk.hop)
+		}
 	}
 	n.inQueue.Store(false)
 	n.sem.Post()
@@ -675,7 +754,13 @@ func (cv *CondVar) notifyCommitted(n *Node) {
 	if cv.st != nil {
 		cv.st.QueueDepth.Observe(d)
 	}
-	cv.wakeNode(n, d)
+	// Mint the causal wake id here — the moment the notify became real
+	// (the commit handler fired, or the immediate-post ablation path ran).
+	wk := wakeCtx{id: cv.e.NextWakeID()}
+	if tr := cv.e.Tracer(); tr.Enabled() {
+		tr.EmitFlow(cv.id, obs.EvWakeRoot, wk.id, 1, int64(cv.id))
+	}
+	cv.wakeNode(n, d, wk)
 }
 
 // wakeCommitted is the committed side of a batched NotifyAll/NotifyN:
@@ -712,12 +797,19 @@ func (cv *CondVar) wakeCommitted(nodes []*Node, gens []uint64) {
 		wb = &wakeBatch{startNS: monoNS(), st: cv.st}
 		wb.remaining.Store(int64(total))
 	}
+	// One wakeID per committed batch: every hop of every chain this
+	// broadcast starts carries it (the flow id of the wake DAG).
+	wakeID := cv.e.NextWakeID()
+	if tr := cv.e.Tracer(); tr.Enabled() {
+		tr.EmitFlow(cv.id, obs.EvWakeRoot, wakeID, int64(total), int64(cv.id))
+	}
 	if cv.opts.SerialWake {
 		// Ablation: the legacy serial wake loop, one post per waiter on
 		// the notifier's goroutine (still measured by the batch clock).
+		// Every wake is notifier-posted, so every hop index is 0.
 		for i, n := range nodes {
 			n.batch.Store(wb)
-			cv.wakeNode(n, d-int64(i))
+			cv.wakeNode(n, d-int64(i), wakeCtx{id: wakeID})
 		}
 		return
 	}
@@ -743,13 +835,18 @@ func (cv *CondVar) wakeCommitted(nodes []*Node, gens []uint64) {
 		}
 	}
 	for i := 0; i < fan; i++ {
-		cv.wakeNode(nodes[i], d-int64(i))
+		cv.wakeNode(nodes[i], d-int64(i), wakeCtx{id: wakeID})
 	}
 }
 
 // noteWake records the waiter side of a wake-up: the notify→wake latency
-// (runtime rescheduling cost) and the wake trace event. It must run
-// before releaseNode, which retires the node's incarnation.
+// (runtime rescheduling cost), the chain-position and consumer-kind
+// instruments, and the wake trace events. It must run before
+// releaseNode, which retires the node's incarnation. by is the consumer
+// code (obs.WakeBy*): a live waiter, or a timeout/cancel loser that kept
+// a raced permit. It returns the consumed flow id and hop index so the
+// resume path can bind the waiter's next transaction into the wake DAG
+// (Wait's continuation wrapper, WaitTx's post-resume flow step).
 //
 // It is also the engine of the chained hand-off: a waiter woken as part
 // of a batch unparks its chain successor first — before its own
@@ -757,25 +854,55 @@ func (cv *CondVar) wakeCommitted(nodes []*Node, gens []uint64) {
 // keeps moving even if this goroutine immediately blocks on the
 // caller's mutex. Every wake-consuming path funnels through here
 // (including timeout/cancel losers that keep a raced permit), which is
-// what guarantees a dequeued chain always drains.
-func (cv *CondVar) noteWake(n *Node) {
+// what guarantees a dequeued chain always drains — and why a loser's
+// successor inherits hop+1 under the same flow id.
+func (cv *CondVar) noteWake(n *Node, by int64) (flow uint64, hop int64) {
+	flow = n.wakeID.Swap(0)
+	hop = n.wakeHop.Swap(0)
 	if nx := n.wakeNext.Swap(nil); nx != nil {
-		cv.wakeNode(nx, 0)
+		cv.wakeNode(nx, 0, wakeCtx{id: flow, parent: n.id, hop: hop + 1})
 	}
 	if wb := n.batch.Swap(nil); wb != nil {
 		if wb.remaining.Add(-1) == 0 && wb.st != nil {
 			wb.st.BroadcastNanos.Observe(monoNS() - wb.startNS)
 		}
 	}
+	now := monoNS()
+	ns := n.notifiedNS.Load()
 	if cv.st != nil {
 		cv.st.Waits.Inc()
-		if ns := n.notifiedNS.Load(); ns != 0 {
-			cv.st.NotifyToWake.Observe(monoNS() - ns)
+		if ns != 0 {
+			cv.st.NotifyToWake.Observe(now - ns)
+		}
+		cv.st.WakeChainDepth.Observe(hop + 1)
+		if hop > 0 && ns != 0 {
+			cv.st.HandoffHopNanos.Observe(now - ns)
+		}
+		switch by {
+		case obs.WakeByTimeout:
+			cv.st.WakeConsumedTimeout.Inc()
+		case obs.WakeByCancel:
+			cv.st.WakeConsumedCancel.Inc()
+		default:
+			cv.st.WakeConsumedWaiter.Inc()
+		}
+	}
+	if cv.chainOn {
+		cv.chainDepth.Observe(hop + 1)
+		if hop > 0 && ns != 0 {
+			cv.hopNanos.Observe(now - ns)
+		}
+		if by >= 0 && by < int64(len(cv.consumed)) {
+			cv.consumed[by].Inc()
 		}
 	}
 	if tr := cv.e.Tracer(); tr.Enabled() {
 		tr.Emit(n.id, obs.EvCVWake, int64(n.id), int64(cv.id))
+		if flow != 0 {
+			tr.EmitFlow(n.id, obs.EvWakeEnd, flow, hop, by)
+		}
 	}
+	return flow, hop
 }
 
 // notifyPost arranges for node's semaphore to be posted: at commit of the

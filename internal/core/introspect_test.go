@@ -16,12 +16,15 @@ import (
 // the TMStats test in internal/stm).
 var cvSnapshotKeys = []string{
 	"cancels", "max_queue", "notify_alls", "notify_empty", "notify_ones",
-	"sem_blocks", "sem_posts", "sem_spin_waits", "timeouts", "waits", "woken",
+	"sem_blocks", "sem_posts", "sem_spin_waits", "timeouts", "waits",
+	"wake_consumed_cancel", "wake_consumed_timeout", "wake_consumed_waiter",
+	"woken",
 }
 
 var cvHistogramKeys = []string{
-	"broadcast_ns", "enqueue_to_notify_ns", "notify_to_wake_ns",
-	"queue_depth", "sem_park_ns", "wake_batch",
+	"broadcast_ns", "enqueue_to_notify_ns", "handoff_hop_ns",
+	"notify_to_wake_ns", "queue_depth", "sem_park_ns", "wake_batch",
+	"wake_chain_depth",
 }
 
 func TestCVStatsSnapshotStableAndComplete(t *testing.T) {
@@ -141,11 +144,19 @@ func TestCVStatsRegisterMetrics(t *testing.T) {
 	vars := r.Vars()
 	for _, k := range cvSnapshotKeys {
 		name := "cv_" + k + "_total"
-		if k == "max_queue" {
+		key := name + `{engine="x"}`
+		switch {
+		case k == "max_queue":
 			name = "cv_" + k
+			key = name + `{engine="x"}`
+		case k == "wake_consumed_waiter", k == "wake_consumed_timeout", k == "wake_consumed_cancel":
+			// Exported as one labeled family, by= carrying the consumer kind.
+			name = "cv_wake_consumed_total"
+			by := k[len("wake_consumed_"):]
+			key = name + `{by="` + by + `",engine="x"}`
 		}
-		if _, ok := vars[name+`{engine="x"}`]; !ok {
-			t.Errorf("registry missing %s", name)
+		if _, ok := vars[key]; !ok {
+			t.Errorf("registry missing %s", key)
 		}
 	}
 	for _, k := range cvHistogramKeys {

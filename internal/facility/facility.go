@@ -217,9 +217,18 @@ func (tk *Toolkit) NewCondNamed(name string) Cond {
 
 // NewCondVarNamed is NewCondVar plus CondVar.SetName under the
 // toolkit's Label prefix, so conflict tables and traces show
-// "taskq.workAvail" instead of a bare creation site.
+// "taskq.workAvail" instead of a bare creation site. When the toolkit
+// has an introspection registry, the named condvar also gets its
+// per-instance wake-chain instruments (cv_wake_chain_depth,
+// cv_handoff_hop_ns, cv_wake_consumed_total labeled cv=<name>) — the
+// chain metrics only make sense once the condvar has a name to label
+// them with.
 func (tk *Toolkit) NewCondVarNamed(name string) *core.CondVar {
-	return tk.NewCondVar().SetName(tk.label(name))
+	cv := tk.NewCondVar().SetName(tk.label(name))
+	if tk.Introspect != nil {
+		cv.RegisterChainMetrics(tk.Introspect)
+	}
+	return cv
 }
 
 // newVarNamed names a facility's state Var under the toolkit's Label

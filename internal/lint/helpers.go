@@ -247,7 +247,7 @@ func baseEffect(recv *types.Named, name string) (Effect, string, bool) {
 		}
 		return 0, "", true
 	case rn == "Tracer" && pathIs(pkg, obsPathSuffix):
-		if name == "Emit" || name == "EmitEvent" {
+		if name == "Emit" || name == "EmitEvent" || name == "EmitFlow" {
 			return EffTrace, "obs.Tracer." + name, true
 		}
 		return 0, "", true

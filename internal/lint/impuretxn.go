@@ -20,8 +20,9 @@ import (
 //   - time.Sleep;
 //   - goroutine launches (one new goroutine per conflict retry);
 //   - sem.Sem Post/PostN (and Wait, which can deadlock a retrying body);
-//   - obs.Tracer Emit/EmitEvent (trace events are observable effects; the
-//     attempt-buffered tx.Trace is the transactional emission API);
+//   - obs.Tracer Emit/EmitEvent/EmitFlow (trace events are observable
+//     effects; the attempt-buffered tx.Trace / tx.TraceFlow are the
+//     transactional emission APIs);
 //   - registry.Registry Register*/Unregister*/Set* (registry mutation
 //     repeats on every retry; register metric sources at construction
 //     time, outside transactions).
@@ -139,7 +140,7 @@ func reportImpureCall(pass *Pass, info *types.Info, call *ast.CallExpr) bool {
 		}
 		if pathIs(recv.Obj().Pkg(), obsPathSuffix) && recv.Obj().Name() == "Tracer" {
 			switch name {
-			case "Emit", "EmitEvent":
+			case "Emit", "EmitEvent", "EmitFlow":
 				pass.Report(call.Pos(), "impuretxn",
 					"obs.Tracer.%s inside a transaction body records events of attempts that may abort; use tx.Trace, which buffers in the attempt and flushes on commit", name)
 				return true

@@ -17,3 +17,10 @@ func badTrace(e *stm.Engine, tr *obs.Tracer) {
 		tx.OnCommit(func() { tr.Emit(1, obs.EvCVWake, 0, 0) }) // ok: handler runs post-commit
 	})
 }
+
+func badFlowTrace(e *stm.Engine, tr *obs.Tracer) {
+	e.MustAtomic(func(tx *stm.Tx) {
+		tr.EmitFlow(1, obs.EvWakeHop, 7, 0, 0) // want "obs.Tracer.EmitFlow"
+		tx.TraceFlow(obs.EvWakeTxn, 7, 0, 0)   // ok: buffered in the attempt
+	})
+}

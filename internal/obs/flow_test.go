@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// The Flow field survives the ring (store/load round-trip) and selects
+// the flow-event rendering in the Chrome exporter: shared name
+// "cv.wake", phases s (root) / t (hop, mid-chain consume) / f+bp:e
+// (terminal consume), all bound by the wakeID.
+func TestFlowEventsRoundTripAndChromePhases(t *testing.T) {
+	tr := NewTracer(1024)
+	tr.Enable()
+	const flow = 77
+	// A two-hop chain: root → node 10 (forwards) → node 11 (terminal).
+	tr.EmitFlow(1, EvWakeRoot, flow, 2, 1)
+	tr.EmitFlow(10, EvWakeHop, flow, 0, 0)
+	tr.EmitFlow(10, EvWakeEnd, flow, 0, WakeByWaiter)
+	tr.EmitFlow(11, EvWakeHop, flow, 10, 1)
+	tr.EmitFlow(11, EvWakeEnd, flow, 1, WakeByTimeout)
+	tr.EmitFlow(500, EvWakeTxn, flow, 1, 0)
+	tr.Disable()
+
+	evs := tr.Events()
+	if len(evs) != 6 {
+		t.Fatalf("retained %d events, want 6", len(evs))
+	}
+	for _, ev := range evs {
+		if ev.Flow != flow {
+			t.Errorf("%s flow = %d, want %d", ev.Type, ev.Flow, flow)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			ID   uint64         `json:"id"`
+			BP   string         `json:"bp"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	phases := map[string][]string{}
+	for _, ce := range doc.TraceEvents {
+		if ce.ID != flow {
+			t.Errorf("event %s/%v id = %d, want %d", ce.Name, ce.Args, ce.ID, flow)
+		}
+		if ce.Name != "cv.wake" {
+			t.Errorf("flow event name %q, want the shared binding name cv.wake", ce.Name)
+		}
+		kind, _ := ce.Args["kind"].(string)
+		phases[kind] = append(phases[kind], ce.Ph)
+		// Node 10 forwarded a successor, so its consume is a mid-chain
+		// step; node 11's is terminal (flow-finish with bp:e).
+		if kind == "consume" {
+			switch ce.Args["node"].(float64) {
+			case 10:
+				if ce.Ph != "t" {
+					t.Errorf("forwarding node's consume ph = %q, want t", ce.Ph)
+				}
+			case 11:
+				if ce.Ph != "f" || ce.BP != "e" {
+					t.Errorf("terminal consume ph/bp = %q/%q, want f/e", ce.Ph, ce.BP)
+				}
+			}
+		}
+	}
+	want := map[string][]string{
+		"root": {"s"}, "hop": {"t", "t"}, "consume": {"t", "f"}, "txn": {"t"},
+	}
+	for kind, w := range want {
+		if len(phases[kind]) != len(w) {
+			t.Errorf("kind %s rendered %v, want %d flow events", kind, phases[kind], len(w))
+		}
+	}
+}
+
+// Untagged events are unaffected by the flow machinery: no id, classic
+// instant/span phases.
+func TestUntaggedEventsKeepClassicRendering(t *testing.T) {
+	tr := NewTracer(1024)
+	tr.Enable()
+	tr.Emit(3, EvCVEnqueue, 3, 0)
+	tr.Disable()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			ID   uint64 `json:"id"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 1 {
+		t.Fatalf("rendered %d events, want 1", len(doc.TraceEvents))
+	}
+	ce := doc.TraceEvents[0]
+	if ce.Ph != "i" || ce.ID != 0 || ce.Name != "cv.enqueue" {
+		t.Errorf("untagged event rendered as %+v", ce)
+	}
+}

@@ -22,6 +22,7 @@ type FlightEvent struct {
 	Lane uint64 `json:"lane"`
 	A    int64  `json:"a,omitempty"`
 	B    int64  `json:"b,omitempty"`
+	Flow uint64 `json:"flow,omitempty"` // causal wake-flow id (DESIGN.md §15)
 }
 
 // Dump is the flight-recorder record: why it was taken, the last N trace
@@ -131,7 +132,7 @@ func tailEvents(tr *obs.Tracer, n int) []FlightEvent {
 	for i, ev := range evs {
 		out[i] = FlightEvent{
 			TS: ev.TS, Dur: ev.Dur, Type: ev.Type.String(),
-			Lane: ev.Lane, A: ev.A, B: ev.B,
+			Lane: ev.Lane, A: ev.A, B: ev.B, Flow: ev.Flow,
 		}
 	}
 	return out

@@ -35,6 +35,30 @@ func TestTraceEnabledNoAlloc(t *testing.T) {
 	}
 }
 
+// EmitFlow shares Emit's zero-alloc contract on both the disarmed and
+// armed paths — verify.sh's overhead gate runs this alongside the Emit
+// tests.
+func TestEmitFlowNoAlloc(t *testing.T) {
+	tr := NewTracer(1024)
+	if a := testing.AllocsPerRun(1000, func() {
+		tr.EmitFlow(1, EvWakeHop, 42, 1, 2)
+	}); a != 0 {
+		t.Errorf("disabled EmitFlow allocates %.1f times per op", a)
+	}
+	var nilTr *Tracer
+	if a := testing.AllocsPerRun(1000, func() {
+		nilTr.EmitFlow(1, EvWakeHop, 42, 1, 2)
+	}); a != 0 {
+		t.Errorf("nil EmitFlow allocates %.1f times per op", a)
+	}
+	tr.Enable()
+	if a := testing.AllocsPerRun(1000, func() {
+		tr.EmitFlow(1, EvWakeHop, 42, 1, 2)
+	}); a != 0 {
+		t.Errorf("enabled EmitFlow allocates %.1f times per op", a)
+	}
+}
+
 // Histogram.Observe is always on; it must not allocate.
 func TestHistogramObserveNoAlloc(t *testing.T) {
 	var h Histogram

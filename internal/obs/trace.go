@@ -33,6 +33,19 @@ const (
 
 	EvFaultInject // fault injector fired at a hook point; A = point, B = action
 	EvHealth      // engine health transition; A = new state, B = old state
+
+	// Causal wake-propagation events (DESIGN.md §15). All four carry the
+	// engine-scoped wakeID in Event.Flow, binding a committed notify to
+	// every hop of its hand-off chain and to the waiters that consumed it.
+	EvWakeRoot // committed notify minted a wakeID; Lane = cv id, A = batch size, B = cv id
+	EvWakeHop  // chain hop posted; Lane = node id, A = poster's node id (0 = the notifier), B = hop index
+	EvWakeEnd  // wake consumed; Lane = node id, A = hop index, B = consumer code (WakeBy*)
+	EvWakeTxn  // woken waiter's next commit; Lane = txn id, A = hop index
+
+	// EvSemHandoff is the semaphore-level analogue of EvWakeHop: one hop
+	// of a batched PostN/PostAll hand-off chain, stamped when the woken
+	// waiter consumes its signal. Lane = sem lane, A = hop index.
+	EvSemHandoff
 )
 
 // String returns the exporter-facing event name.
@@ -66,6 +79,16 @@ func (t EventType) String() string {
 		return "fault.inject"
 	case EvHealth:
 		return "stm.health"
+	case EvWakeRoot:
+		return "cv.wake.root"
+	case EvWakeHop:
+		return "cv.wake.hop"
+	case EvWakeEnd:
+		return "cv.wake.consume"
+	case EvWakeTxn:
+		return "cv.wake.txn"
+	case EvSemHandoff:
+		return "sem.handoff"
 	default:
 		return "unknown"
 	}
@@ -77,6 +100,8 @@ func (t EventType) Category() string {
 	case t >= EvTxnStart && t <= EvHandlerRun:
 		return "stm"
 	case t >= EvCVEnqueue && t <= EvCVWake:
+		return "cv"
+	case t >= EvWakeRoot && t <= EvWakeTxn:
 		return "cv"
 	case t == EvFaultInject:
 		return "fault"
@@ -96,6 +121,31 @@ const (
 	AbortCancel
 	AbortRetry
 )
+
+// Consumer codes carried in the B argument of EvWakeEnd events: which
+// kind of waiter ultimately consumed a chained wake. A timeout/cancel
+// loser that keeps a raced permit still drains the chain — it forwards
+// its successor — but the wake itself went to a waiter that had already
+// given up, which is exactly the signal cv_wake_consumed_total surfaces.
+const (
+	WakeByWaiter int64 = iota
+	WakeByTimeout
+	WakeByCancel
+)
+
+// WakeConsumerName names a wake-consumer code for export.
+func WakeConsumerName(by int64) string {
+	switch by {
+	case WakeByWaiter:
+		return "waiter"
+	case WakeByTimeout:
+		return "timeout"
+	case WakeByCancel:
+		return "cancel"
+	default:
+		return "unknown"
+	}
+}
 
 // AbortReasonName names an abort reason code for export.
 func AbortReasonName(r int64) string {
@@ -119,13 +169,17 @@ func AbortReasonName(r int64) string {
 // a non-zero Dur marks a span (complete) event covering [TS, TS+Dur].
 // Lane identifies the logical track the event belongs to — a transaction
 // id, a condvar node id, a semaphore — so related events line up in the
-// viewer. A and B are type-specific arguments.
+// viewer. A and B are type-specific arguments. A non-zero Flow is the
+// causal-flow id (the wakeID of DESIGN.md §15) binding events of one
+// wake DAG across lanes; the Chrome exporter renders such events as flow
+// events so the DAG is visible in existing dumps.
 type Event struct {
 	TS   int64
 	Dur  int64
 	Type EventType
 	Lane uint64
 	A, B int64
+	Flow uint64
 }
 
 // slot is one ring-buffer cell. All fields are atomics so that the rare
@@ -140,6 +194,7 @@ type slot struct {
 	lane atomic.Uint64
 	a    atomic.Int64
 	b    atomic.Int64
+	flow atomic.Uint64
 }
 
 // shard is one independently appended ring.
@@ -213,6 +268,18 @@ func (t *Tracer) Emit(lane uint64, typ EventType, a, b int64) {
 	t.record(Event{TS: t.Now(), Type: typ, Lane: lane, A: a, B: b})
 }
 
+// EmitFlow records an instant event stamped now and tagged with a causal
+// flow id (a wakeID). Like Emit it is the direct-emission path for code
+// running outside any transaction attempt — commit handlers and woken
+// waiters, where the wake chain lives. Inside an optimistic transaction
+// body use stm.Tx.TraceFlow, which buffers with the attempt. Safe on nil.
+func (t *Tracer) EmitFlow(lane uint64, typ EventType, flow uint64, a, b int64) {
+	if !t.Enabled() {
+		return
+	}
+	t.record(Event{TS: t.Now(), Type: typ, Lane: lane, A: a, B: b, Flow: flow})
+}
+
 // EmitEvent records a pre-stamped event (buffered flushes and span
 // events). Safe on nil.
 func (t *Tracer) EmitEvent(ev Event) {
@@ -232,6 +299,7 @@ func (t *Tracer) record(ev Event) {
 	s.lane.Store(ev.Lane)
 	s.a.Store(ev.A)
 	s.b.Store(ev.B)
+	s.flow.Store(ev.Flow)
 	s.seq.Store(n)
 }
 
@@ -274,6 +342,7 @@ func (t *Tracer) Events() []Event {
 				Lane: s.lane.Load(),
 				A:    s.a.Load(),
 				B:    s.b.Load(),
+				Flow: s.flow.Load(),
 			})
 		}
 	}

@@ -1,0 +1,91 @@
+package sem
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// A flow-tagged batched post stamps one EvSemHandoff per woken waiter —
+// at the consume moment, carrying the flow id and the waiter's chain
+// hop — and the hop indices reflect the scatter shape: chain heads at
+// hop 0, each forwarded successor one deeper.
+func TestPostNFlowStampsHandoffHops(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4) // force the chained scatter branch
+	defer runtime.GOMAXPROCS(prev)
+
+	s := NewBinary()
+	tr := obs.NewTracer(1024)
+	s.SetTrace(tr, 99)
+	tr.Enable()
+
+	const waiters = 2 * postFanout // 8 chains of 2
+	done := parkN(t, s, waiters)
+	const flow = 1234
+	s.PostNFlow(waiters, flow)
+	for _, ch := range done {
+		waitClosed(t, ch, "waiter")
+	}
+	tr.Disable()
+
+	hops := map[int64]int{}
+	for _, ev := range tr.Events() {
+		if ev.Type != obs.EvSemHandoff {
+			continue
+		}
+		if ev.Flow != flow {
+			t.Errorf("sem.handoff flow = %d, want %d", ev.Flow, flow)
+		}
+		if ev.Lane != 99 {
+			t.Errorf("sem.handoff lane = %d, want 99", ev.Lane)
+		}
+		hops[ev.A]++
+	}
+	if hops[0] != postFanout || hops[1] != postFanout {
+		t.Errorf("hop distribution = %v, want %d at hop 0 and %d at hop 1", hops, postFanout, postFanout)
+	}
+}
+
+// PostAllFlow covers every parked waiter; an untagged PostAll emits
+// nothing (the flow machinery is pay-as-you-go).
+func TestPostAllFlowAndUntaggedSilence(t *testing.T) {
+	s := NewBinary()
+	tr := obs.NewTracer(1024)
+	s.SetTrace(tr, 7)
+	tr.Enable()
+
+	done := parkN(t, s, 3)
+	if n := s.PostAllFlow(4321); n != 3 {
+		t.Fatalf("PostAllFlow woke %d, want 3", n)
+	}
+	for _, ch := range done {
+		waitClosed(t, ch, "waiter")
+	}
+
+	count := 0
+	for _, ev := range tr.Events() {
+		if ev.Type == obs.EvSemHandoff {
+			count++
+			if ev.Flow != 4321 {
+				t.Errorf("flow = %d, want 4321", ev.Flow)
+			}
+		}
+	}
+	if count != 3 {
+		t.Errorf("emitted %d sem.handoff events, want 3", count)
+	}
+
+	tr.Reset()
+	done = parkN(t, s, 2)
+	s.PostAll()
+	for _, ch := range done {
+		waitClosed(t, ch, "waiter")
+	}
+	tr.Disable()
+	for _, ev := range tr.Events() {
+		if ev.Type == obs.EvSemHandoff {
+			t.Errorf("untagged PostAll emitted a sem.handoff event: %+v", ev)
+		}
+	}
+}

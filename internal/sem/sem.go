@@ -58,9 +58,14 @@ type Stats struct {
 // unpark before doing anything else (chained hand-off: the notifier pays
 // for one wake-up, each woken waiter pays for the next, so a broadcast
 // over N waiters is not N serial channel sends on the notifier's
-// goroutine).
+// goroutine). A non-zero flow is the causal-flow id of a PostNFlow/
+// PostAllFlow batch (DESIGN.md §15): hop is this waiter's 0-based chain
+// position, both are stamped into an EvSemHandoff event when the signal
+// is consumed and inherited (hop+1) by the forwarded successor.
 type wake struct {
 	next *waiter
+	flow uint64
+	hop  int32
 }
 
 // waiter is one parked goroutine. The channel has capacity 1 so that a
@@ -211,10 +216,10 @@ func (s *Sem) parkEnd(t0 time.Time) {
 // retains nothing once it resumes. Callers must not hold the semaphore
 // lock merely for ordering — the links were written under it, and the
 // channel send publishes them to the receiver.
-func handoff(w *waiter) {
+func handoff(w *waiter, flow uint64, hop int32) {
 	nx := w.next
 	w.next = nil
-	w.ch <- wake{next: nx}
+	w.ch <- wake{next: nx, flow: flow, hop: hop}
 }
 
 // forward continues a chained hand-off: a waiter that consumed a wake
@@ -222,10 +227,16 @@ func handoff(w *waiter) {
 // anything else, so the chain's critical path is one channel round-trip
 // per hop regardless of who started it. Every path that consumes from
 // w.ch (including timeout/cancel losers that keep the permit) must call
-// forward, or the rest of the chain sleeps forever.
-func forward(sig wake) {
+// forward, or the rest of the chain sleeps forever. A flow-tagged
+// signal additionally stamps its hop into the trace here — the consume
+// moment — before the successor (hop+1) is unparked; an untagged signal
+// costs one integer compare.
+func (s *Sem) forward(sig wake) {
+	if sig.flow != 0 && s.tr.Enabled() {
+		s.tr.EmitFlow(s.lane, obs.EvSemHandoff, sig.flow, int64(sig.hop), 0)
+	}
 	if sig.next != nil {
-		handoff(sig.next)
+		handoff(sig.next, sig.flow, sig.hop+1)
 	}
 }
 
@@ -268,7 +279,7 @@ func (s *Sem) Post() {
 	}
 	s.mu.unlock()
 	if w != nil {
-		handoff(w)
+		handoff(w, 0, 0)
 	}
 	if s.st != nil {
 		s.st.Posts.Inc()
@@ -289,7 +300,7 @@ const postFanout = 8
 // for wake-to-wake scheduling hops; with a single P there is no
 // parallelism to win the hops back, so the degenerate case posts every
 // waiter directly (still under the single batch lock acquisition).
-func scatter(head *waiter, cnt int) {
+func scatter(head *waiter, cnt int, flow uint64) {
 	f := cnt
 	if runtime.GOMAXPROCS(0) > 1 && cnt > postFanout {
 		f = postFanout
@@ -298,7 +309,7 @@ func scatter(head *waiter, cnt int) {
 		for w := head; w != nil; {
 			nx := w.next
 			w.next = nil
-			w.ch <- wake{}
+			w.ch <- wake{flow: flow}
 			w = nx
 		}
 		return
@@ -312,7 +323,7 @@ func scatter(head *waiter, cnt int) {
 		nx := w.next
 		w.next = nil
 		w = nx
-		handoff(h)
+		handoff(h, flow, 0)
 	}
 }
 
@@ -322,7 +333,16 @@ func scatter(head *waiter, cnt int) {
 // in FIFO order under a single lock acquisition and unparked via scatter
 // (chained hand-off when the runtime is parallel enough to profit), and
 // any permits left over are banked.
-func (s *Sem) PostN(n int) {
+func (s *Sem) PostN(n int) { s.postN(n, 0) }
+
+// PostNFlow is PostN tagged with a causal-flow id: every waiter woken by
+// this batch — directly or down a hand-off chain — stamps an
+// EvSemHandoff event carrying flow and its chain hop when it consumes
+// the signal, binding the batch's propagation into the wake DAG the
+// trace exporter renders. A zero flow is exactly PostN.
+func (s *Sem) PostNFlow(n int, flow uint64) { s.postN(n, flow) }
+
+func (s *Sem) postN(n int, flow uint64) {
 	if n <= 0 {
 		return
 	}
@@ -332,7 +352,7 @@ func (s *Sem) PostN(n int) {
 	s.count += int64(n - cnt)
 	s.mu.unlock()
 	if head != nil {
-		scatter(head, cnt)
+		scatter(head, cnt, flow)
 	}
 	if s.st != nil {
 		s.st.Posts.Add(int64(n))
@@ -343,13 +363,18 @@ func (s *Sem) PostN(n int) {
 // hand-off and reports how many there were. Unlike PostN it banks
 // nothing: a semaphore with no waiters is left untouched. This is the
 // broadcast primitive the condvar's batched NotifyAll rides on.
-func (s *Sem) PostAll() int {
+func (s *Sem) PostAll() int { return s.postAll(0) }
+
+// PostAllFlow is PostAll tagged with a causal-flow id; see PostNFlow.
+func (s *Sem) PostAllFlow(flow uint64) int { return s.postAll(flow) }
+
+func (s *Sem) postAll(flow uint64) int {
 	s.faultAt(fault.SemPost)
 	s.mu.lock()
 	head, cnt := s.detachLocked(int(^uint(0) >> 1))
 	s.mu.unlock()
 	if head != nil {
-		scatter(head, cnt)
+		scatter(head, cnt, flow)
 	}
 	if s.st != nil && cnt > 0 {
 		s.st.Posts.Add(int64(cnt))
@@ -420,7 +445,7 @@ func (s *Sem) Wait() {
 	s.faultAt(fault.SemPark)
 	if budget := s.spin.Load(); budget > 0 {
 		if sig, ok := spinWait(w, budget); ok {
-			forward(sig)
+			s.forward(sig)
 			if s.st != nil {
 				s.st.SpinWaits.Inc()
 				s.st.Waits.Inc()
@@ -433,7 +458,7 @@ func (s *Sem) Wait() {
 	}
 	t0 := s.parkStart()
 	sig := <-w.ch
-	forward(sig)
+	s.forward(sig)
 	s.parkEnd(t0)
 	s.tuneSpin(time.Since(t0))
 	if s.st != nil {
@@ -498,7 +523,7 @@ func (s *Sem) WaitTimeout(d time.Duration) bool {
 	defer t.Stop()
 	select {
 	case sig := <-w.ch:
-		forward(sig)
+		s.forward(sig)
 		s.parkEnd(t0)
 		if s.st != nil {
 			s.st.Waits.Inc()
@@ -521,7 +546,7 @@ func (s *Sem) WaitTimeout(d time.Duration) bool {
 	s.mu.unlock()
 	// We were already dequeued by a Post: the permit is (or will be) in
 	// the channel. Take it — and keep any hand-off chain moving.
-	forward(<-w.ch)
+	s.forward(<-w.ch)
 	s.parkEnd(t0)
 	if s.st != nil {
 		s.st.Waits.Inc()
@@ -565,7 +590,7 @@ func (s *Sem) WaitCtx(ctx context.Context) bool {
 
 	select {
 	case sig := <-w.ch:
-		forward(sig)
+		s.forward(sig)
 		s.parkEnd(t0)
 		if s.st != nil {
 			s.st.Waits.Inc()
@@ -589,7 +614,7 @@ func (s *Sem) WaitCtx(ctx context.Context) bool {
 	// We lost the race to a Post: the permit is (or will be) in the
 	// channel. Take it — the notification wins over the cancellation —
 	// and keep any hand-off chain moving.
-	forward(<-w.ch)
+	s.forward(<-w.ch)
 	s.parkEnd(t0)
 	if s.st != nil {
 		s.st.Waits.Inc()

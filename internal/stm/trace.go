@@ -48,6 +48,25 @@ func (tx *Tx) Trace(typ obs.EventType, a, b int64) {
 	tx.pend = append(tx.pend, obs.Event{TS: tr.Now(), Type: typ, Lane: tx.id, A: a, B: b})
 }
 
+// TraceFlow is Trace for causal-flow events: the event carries flow (a
+// wakeID) in its Flow field, binding this transaction into the wake DAG
+// that resumed it. Like Trace it is commit-deferred — buffered with the
+// optimistic attempt and discarded on abort — so an aborted continuation
+// never claims its wake in the trace. In serial transactions and after
+// CommitEarly it emits immediately (such code runs exactly once), which
+// is how WaitTx stamps the post-resume flow step on its own lane.
+func (tx *Tx) TraceFlow(typ obs.EventType, flow uint64, a, b int64) {
+	tr := tx.e.tracer
+	if !tr.Enabled() {
+		return
+	}
+	if tx.mode == modeSerial || tx.status != txActive {
+		tr.EmitFlow(tx.id, typ, flow, a, b)
+		return
+	}
+	tx.pend = append(tx.pend, obs.Event{TS: tr.Now(), Type: typ, Lane: tx.id, A: a, B: b, Flow: flow})
+}
+
 // traceStart buffers the attempt-start event (surfaces only on commit).
 func (tx *Tx) traceStart() {
 	if tr := tx.e.tracer; tr.Enabled() && tx.mode != modeSerial {

@@ -101,6 +101,48 @@ func TestTraceCommitEarlyFlushes(t *testing.T) {
 	}
 }
 
+// TraceFlow follows Trace's commit-deferral exactly: a committed
+// attempt's flow events surface carrying their wakeID, an aborted
+// attempt's are discarded, and after CommitEarly the emission is direct
+// (the WaitTx resume path).
+func TestTraceFlowCommitDeferredAndAbortDiscarded(t *testing.T) {
+	e := NewEngine(Config{Algorithm: AlgWriteThrough})
+	tr := obs.NewTracer(1024)
+	e.SetTracer(tr)
+	tr.Enable()
+
+	sentinel := errors.New("cancelled")
+	err := e.Atomic(func(tx *Tx) {
+		tx.TraceFlow(obs.EvWakeTxn, 55, 2, 0) // must never surface
+		tx.Cancel(sentinel)
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Atomic err = %v", err)
+	}
+	if got := countByType(tr.Events()); got[obs.EvWakeTxn] != 0 {
+		t.Fatalf("aborted attempt leaked flow events: %v", got)
+	}
+
+	v := NewVar(e, 0)
+	e.MustAtomic(func(tx *Tx) {
+		Write(tx, v, 1)
+		tx.TraceFlow(obs.EvWakeTxn, 55, 2, 0) // buffered, flushed on commit
+		tx.CommitEarly()
+		tx.TraceFlow(obs.EvWakeTxn, 56, 3, 0) // post-commit: direct emission
+	})
+	tr.Disable()
+
+	flows := map[uint64]int{}
+	for _, ev := range tr.Events() {
+		if ev.Type == obs.EvWakeTxn {
+			flows[ev.Flow]++
+		}
+	}
+	if flows[55] != 1 || flows[56] != 1 {
+		t.Fatalf("flow event counts = %v, want one each of flows 55 and 56", flows)
+	}
+}
+
 // The latency histograms in TMStats populate on both the commit and abort
 // paths, and Histograms() exposes them under stable keys.
 func TestTMStatsHistogramsPopulate(t *testing.T) {

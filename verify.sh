@@ -4,8 +4,10 @@
 # test suite under the race detector, a second stm/core pass with the
 # runtime sanitizer compiled on (-tags stmsan), the cvlint static misuse
 # analyzers over the whole module, two bounded exhaustive model-checking
-# runs, and a live-introspection smoke gate that scrapes the /debug/cv/*
-# endpoints during a chaos soak.
+# runs, a causal wake-trace gate (the chaos soak dumps its event ring and
+# cvtrace -check revalidates every wake DAG offline), and a
+# live-introspection smoke gate that scrapes the /debug/cv/* endpoints
+# during a chaos soak.
 #
 # Tier-1 (the subset CI must keep green) is `go build ./... && go test
 # ./...`; this script is the superset to run before merging.
@@ -43,9 +45,14 @@ go run ./cmd/cvlint ./...
 go run ./cmd/cvlint -tests -baseline lint-tests.baseline ./...
 
 step "tracer overhead guard (disabled path must not allocate)"
-go test -run 'TestTraceDisabledNoAlloc|TestTraceEnabledNoAlloc|TestHistogramObserveNoAlloc|TestParkLabelGateNoAlloc' ./internal/obs
+go test -run 'TestTraceDisabledNoAlloc|TestTraceEnabledNoAlloc|TestEmitFlowNoAlloc|TestHistogramObserveNoAlloc|TestParkLabelGateNoAlloc' ./internal/obs
 go test -run 'NoAlloc' ./internal/obs/registry
 go test -run 'TestProfilingDisabledNoAllocCommit|TestAbortPathAllocParity' ./internal/stm
+# The wake-chain stamps (wakeID mint + hop stores + consumer attribution)
+# ride the notify→post→wake hot path unconditionally; with the tracer
+# disarmed the whole cycle must stay allocation-free, bounding the
+# chain-tracing overhead on BenchmarkBroadcastWake to the atomic stores.
+go test -run 'TestWakeChainDisarmedNoAlloc' ./internal/core
 go test -run '^$' -bench BenchmarkTraceDisabled -benchmem ./internal/obs | tee /tmp/obs_bench.$$ >/dev/null
 grep -q ' 0 allocs/op' /tmp/obs_bench.$$ || {
 	echo "BenchmarkTraceDisabled allocates:"; cat /tmp/obs_bench.$$; rm -f /tmp/obs_bench.$$; exit 1;
@@ -65,7 +72,15 @@ go run ./cmd/modelcheck -waiters 2 -notifyall 1
 
 step "chaos soak (deterministic fault injection, fixed seed)"
 go test -race ./internal/fault
-go run ./cmd/cvstress -mode chaos -seed 3405691582 -faultrate 0.25 -duration 2s
+# The soak doubles as the causal wake-trace gate: -trace dumps the run's
+# event ring (and fails the run on any in-run wake-chain violation), then
+# cvtrace -check revalidates the dump offline — every committed notify's
+# wake DAG must reconstruct with no orphan hops (window-truncated flows
+# whose root predates the ring are skipped, not failed).
+go run ./cmd/cvstress -mode chaos -seed 3405691582 -faultrate 0.25 -duration 2s \
+	-trace /tmp/chaos_trace.$$
+go run ./cmd/cvtrace -check /tmp/chaos_trace.$$
+rm -f /tmp/chaos_trace.$$
 
 if [ "$SHORT" -eq 0 ]; then
 	# The blackbox gates need the real exit code (go run collapses every
@@ -128,6 +143,9 @@ grep -q '^stm_commits_total{' /tmp/is_metrics.$$ || {
 }
 grep -q '^cv_queue_depth{' /tmp/is_metrics.$$ || {
 	echo "live metrics missing cv_queue_depth:"; cat /tmp/is_metrics.$$; exit 1;
+}
+grep -q '^cv_wake_consumed_total{' /tmp/is_metrics.$$ || {
+	echo "live metrics missing cv_wake_consumed_total:"; cat /tmp/is_metrics.$$; exit 1;
 }
 curl -fsS "http://$ISADDR/debug/cv/waiters" | grep -q '"generated_at"' || {
 	echo "waiters endpoint malformed"; exit 1;
