@@ -64,6 +64,13 @@ type Options struct {
 	// notifier unparks every dequeued waiter itself, one semaphore post
 	// at a time. For the broadcast ablation benchmark.
 	SerialWake bool
+	// SemLanes overrides the waiter-lane count of every node semaphore
+	// this condvar creates (sem.Sem.SetLanes). Zero keeps the
+	// semaphore's own default (GOMAXPROCS at first use). A node
+	// semaphore parks at most one goroutine, so more lanes only add
+	// post-side scan work there — the knob exists for the parsecbench
+	// lane sweep and for pinning deterministic single-lane behavior.
+	SemLanes int
 }
 
 // CVStats aggregates condition-variable activity.
@@ -162,6 +169,10 @@ type Node struct {
 	inQueue atomic.Bool
 	gen     atomic.Uint64
 
+	// enqBody is the node's cached transactional-insert closure (see
+	// enqueueBody); built once per node, reused across pool recycles.
+	enqBody func(*stm.Tx)
+
 	// Chained hand-off state, set by a committed notify batch
 	// (wakeCommitted) and consumed exactly once by the woken owner in
 	// noteWake: wakeNext is the next waiter this one must unpark, batch
@@ -235,6 +246,17 @@ type CondVar struct {
 	// exact despite living outside the STM.
 	depth stats.Gauge
 
+	// procs is GOMAXPROCS sampled once at construction: the auto
+	// wake-fanout policy reads it on every committed broadcast, and
+	// re-sampling there put a runtime call on the commit handler's
+	// critical path (the same once-per-object rule sem.Sem applies).
+	procs int
+
+	// depthInc is the enqueue commit handler, allocated once: every
+	// Wait registers it via OnCommit, and building the closure per
+	// enqueue attempt was a measurable share of the park path's garbage.
+	depthInc func()
+
 	// Per-condvar wake-chain instruments behind RegisterChainMetrics
 	// (the named-CV view of the aggregate CVStats chain metrics).
 	// chainOn is a setup-time flag like st: when false — the default —
@@ -248,12 +270,14 @@ type CondVar struct {
 // New creates a condition variable whose internal transactions run on e.
 func New(e *stm.Engine, opts Options) *CondVar {
 	cv := &CondVar{
-		e:    e,
-		head: stm.NewVar[*Node](e, nil),
-		tail: stm.NewVar[*Node](e, nil),
-		opts: opts,
-		id:   cvSeq.Add(1),
+		e:     e,
+		head:  stm.NewVar[*Node](e, nil),
+		tail:  stm.NewVar[*Node](e, nil),
+		opts:  opts,
+		id:    cvSeq.Add(1),
+		procs: runtime.GOMAXPROCS(0),
 	}
+	cv.depthInc = func() { cv.depth.Inc() }
 	cv.pool.New = func() any { return cv.newNode() }
 	return cv
 }
@@ -287,6 +311,9 @@ func (cv *CondVar) newNode() *Node {
 		next: stm.NewVar[*Node](cv.e, nil),
 		tag:  stm.NewVar[any](cv.e, nil),
 	}
+	if cv.opts.SemLanes > 0 {
+		n.sem.SetLanes(cv.opts.SemLanes)
+	}
 	if cv.name != "" {
 		// All of a named condvar's node links share one attribution row:
 		// queue-link churn shows up as "<name>.node", not per-node sites.
@@ -301,6 +328,7 @@ func (cv *CondVar) newNode() *Node {
 		n.sem.SetTrace(tr, n.id)
 	}
 	n.sem.SetFault(cv.e.Fault())
+	n.enqBody = func(tx *stm.Tx) { cv.enqueueBody(tx, n) }
 	return n
 }
 
@@ -368,34 +396,38 @@ func (cv *CondVar) enqueue(tx *stm.Tx, n *Node) {
 	}
 	n.enqueuedNS.Store(monoNS())
 	n.notifiedNS.Store(0)
-	body := func(tx *stm.Tx) {
-		// Attempt-buffered: an aborted attempt's enqueue never shows in
-		// the trace; the committed depth gauge moves only at commit.
-		tx.Trace(obs.EvCVEnqueue, int64(n.id), int64(cv.id))
-		tx.OnCommit(func() { cv.depth.Inc() })
-		switch cv.opts.Policy {
-		case LIFO:
-			h := stm.Read(tx, cv.head)
-			stm.Write(tx, n.next, h)
-			stm.Write(tx, cv.head, n)
-			if h == nil {
-				stm.Write(tx, cv.tail, n)
-			}
-		default: // FIFO
-			t := stm.Read(tx, cv.tail)
-			if t == nil {
-				stm.Write(tx, cv.head, n)
-				stm.Write(tx, cv.tail, n)
-			} else {
-				stm.Write(tx, t.next, n)
-				stm.Write(tx, cv.tail, n)
-			}
-		}
-	}
 	if tx != nil {
-		tx.Atomic(body)
+		tx.Atomic(n.enqBody)
 	} else {
-		cv.e.MustAtomic(body)
+		cv.e.MustAtomic(n.enqBody)
+	}
+}
+
+// enqueueBody is the transactional insert of one node, bound into the
+// node's cached enqBody closure at newNode so the park path does not
+// rebuild it (or the depth handler) on every Wait.
+func (cv *CondVar) enqueueBody(tx *stm.Tx, n *Node) {
+	// Attempt-buffered: an aborted attempt's enqueue never shows in
+	// the trace; the committed depth gauge moves only at commit.
+	tx.Trace(obs.EvCVEnqueue, int64(n.id), int64(cv.id))
+	tx.OnCommit(cv.depthInc)
+	switch cv.opts.Policy {
+	case LIFO:
+		h := stm.Read(tx, cv.head)
+		stm.Write(tx, n.next, h)
+		stm.Write(tx, cv.head, n)
+		if h == nil {
+			stm.Write(tx, cv.tail, n)
+		}
+	default: // FIFO
+		t := stm.Read(tx, cv.tail)
+		if t == nil {
+			stm.Write(tx, cv.head, n)
+			stm.Write(tx, cv.tail, n)
+		} else {
+			stm.Write(tx, t.next, n)
+			stm.Write(tx, cv.tail, n)
+		}
 	}
 }
 
@@ -816,7 +848,7 @@ func (cv *CondVar) wakeCommitted(nodes []*Node, gens []uint64) {
 	fan := cv.opts.WakeFanout
 	if fan <= 0 {
 		fan = DefaultWakeFanout
-		if runtime.GOMAXPROCS(0) == 1 {
+		if cv.procs == 1 {
 			// Chained hand-off trades notifier-side posts for wake-to-wake
 			// scheduling hops; with a single P there is no parallelism to
 			// win the hops back, so auto mode posts the batch directly.

@@ -184,9 +184,15 @@ func TestHistoryCheckerUnderStress(t *testing.T) {
 			}()
 		}
 		waitUntil(t, "all parked", func() bool { return cv.Len() == waiters })
-		// Mixed notifies until everyone is released.
+		// Mixed notifies until everyone is released. Each notify is
+		// recorded while still holding the monitor mutex: a woken
+		// waiter must re-acquire m before it can record its wake, so
+		// the checker always observes notify before wake. Recording
+		// after unlocking races the waiter on a multicore runtime and
+		// trips the fail-fast spurious-wake check falsely.
 		released := 0
 		for released < waiters {
+			m.Lock()
 			if cv.NotifyOne(nil) {
 				if err := h.RecordNotify(1); err != nil {
 					t.Fatal(err)
@@ -200,6 +206,7 @@ func TestHistoryCheckerUnderStress(t *testing.T) {
 				}
 				released += n
 			}
+			m.Unlock()
 		}
 		wg.Wait()
 		if err, _ := fail.Load().(error); err != nil {

@@ -17,6 +17,13 @@ import (
 // It is driven by tests: wrap each operation with the corresponding
 // Record* call. The checker is deliberately coarse — it counts permits,
 // not identities — which is exactly what Mesa-style semantics promise.
+//
+// The fail-fast check in RecordWaitDone is only sound if the caller
+// records causally: a notify must be recorded before any waiter it woke
+// can record its wake. Under a monitor the cheap way to pin that order
+// is to call RecordNotify while still holding the monitor mutex — the
+// woken waiter cannot return from WAIT (and thus cannot reach its
+// RecordWaitDone) until it re-acquires that mutex.
 type HistoryChecker struct {
 	mu        sync.Mutex
 	waitStart int64 // WAITs that have enqueued

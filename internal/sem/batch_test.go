@@ -90,6 +90,7 @@ func TestPostNBatchConservation(t *testing.T) {
 // fairness of the batched path).
 func TestPostNFIFOFairness(t *testing.T) {
 	s := NewBinary()
+	s.SetLanes(1) // FIFO order across a whole batch is a single-lane property
 	done := parkN(t, s, 4)
 
 	s.PostN(2)
@@ -211,6 +212,17 @@ func TestSpinBudgetTuner(t *testing.T) {
 	if got := s.spin.Load(); got != 0 {
 		t.Fatalf("fresh semaphore has spin budget %d, want 0", got)
 	}
+	// On a single-P runtime the budget must pin to zero regardless of
+	// hand-off latency: the Gosched-polled spin can never overlap a
+	// poster there (the ISSUE's GOMAXPROCS==1 CPU-burn fix).
+	s.procs.Store(1)
+	s.spin.Store(spinLimit)
+	s.tuneSpin(time.Microsecond)
+	if got := s.spin.Load(); got != 0 {
+		t.Fatalf("budget = %d after fast hand-off at procs==1, want pinned 0", got)
+	}
+	// With parallelism the adaptive envelope applies.
+	s.procs.Store(4)
 	// Fast hand-offs grow the budget geometrically up to the cap.
 	prev := int32(0)
 	for i := 0; i < 10; i++ {

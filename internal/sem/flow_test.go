@@ -16,6 +16,7 @@ func TestPostNFlowStampsHandoffHops(t *testing.T) {
 	defer runtime.GOMAXPROCS(prev)
 
 	s := NewBinary()
+	s.SetLanes(1) // one lane: the chain shape below is deterministic
 	tr := obs.NewTracer(1024)
 	s.SetTrace(tr, 99)
 	tr.Enable()

@@ -10,40 +10,65 @@ import (
 // This file is the semaphore's face toward the live-introspection stack
 // (DESIGN.md §10): park ages for /debug/cv/waiters and the park-time
 // goroutine pprof labels, both off the Wait fast path — ages are read
-// under the existing waiter-list lock only when a scraper asks, and the
+// under the per-lane waiter-list locks only when a scraper asks, and the
 // label calls sit behind obs.ParkLabelsEnabled (one atomic load when
 // off, checked by TestParkLabelGateNoAlloc in internal/obs).
 
 // WaiterAges returns how long each currently parked goroutine has been
-// waiting, head (longest-parked) first. Negative ages from a stepping
-// clock are clamped to zero, the same discipline as the park histogram.
+// waiting, longest-parked first. Each lane is FIFO so its run comes out
+// sorted; the cross-lane merge is an explicit sort. Negative ages from a
+// stepping clock are clamped to zero, the same discipline as the park
+// histogram.
 func (s *Sem) WaiterAges() []time.Duration {
-	now := time.Now()
-	s.mu.lock()
-	defer s.mu.unlock()
-	var out []time.Duration
-	for w := s.head; w != nil; w = w.next {
-		d := now.Sub(w.parkedAt)
-		if d < 0 {
-			d = 0
-		}
-		out = append(out, d)
+	ls := s.ls.Load()
+	if ls == nil {
+		return nil
 	}
+	now := time.Now()
+	var out []time.Duration
+	for i := range ls.lanes {
+		l := &ls.lanes[i]
+		l.mu.lock()
+		for w := l.head; w != nil; w = w.next {
+			d := now.Sub(w.parkedAt)
+			if d < 0 {
+				d = 0
+			}
+			out = append(out, d)
+		}
+		l.mu.unlock()
+	}
+	sortAgesDescending(out)
 	return out
 }
 
 // OldestParkAge returns the park age of the longest-waiting goroutine
-// and whether anyone is parked at all. Same clamping as WaiterAges.
+// and whether anyone is parked at all. Per-lane FIFO puts each lane's
+// oldest waiter at its head, so only the heads are compared. Same
+// clamping as WaiterAges.
 func (s *Sem) OldestParkAge() (time.Duration, bool) {
-	s.mu.lock()
-	w := s.head
-	if w == nil {
-		s.mu.unlock()
+	ls := s.ls.Load()
+	if ls == nil {
 		return 0, false
 	}
-	parkedAt := w.parkedAt
-	s.mu.unlock()
-	d := time.Since(parkedAt)
+	var oldest time.Time
+	found := false
+	for i := range ls.lanes {
+		l := &ls.lanes[i]
+		if l.n.Load() == 0 {
+			continue
+		}
+		l.mu.lock()
+		if w := l.head; w != nil && (!found || w.parkedAt.Before(oldest)) {
+			oldest = w.parkedAt
+			found = true
+		}
+		l.mu.unlock()
+	}
+	if !found {
+		return 0, false
+	}
+	d := time.Since(oldest)
 	if d < 0 {
 		d = 0
 	}

@@ -61,10 +61,11 @@ func TestWaiterAges(t *testing.T) {
 func TestWaiterAgeClamped(t *testing.T) {
 	s := NewBinary()
 	w := &waiter{ch: make(chan wake, 1)}
-	s.mu.lock()
-	s.enqueueLocked(w)
+	l := &s.lanes().lanes[0]
+	l.mu.lock()
+	l.enqueue(w)
 	w.parkedAt = time.Now().Add(time.Hour) // hostile: park "begins" in the future
-	s.mu.unlock()
+	l.mu.unlock()
 
 	if ages := s.WaiterAges(); len(ages) != 1 || ages[0] != 0 {
 		t.Fatalf("WaiterAges = %v, want [0]", ages)

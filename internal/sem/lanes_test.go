@@ -1,0 +1,240 @@
+package sem
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// forceLanePlacement overrides the lane-affinity hint with a
+// deterministic function for the duration of a test, so a single-P host
+// can exercise multi-lane placement.
+func forceLanePlacement(t *testing.T, fn func() uint32) {
+	t.Helper()
+	old := laneIndexFn
+	laneIndexFn = fn
+	t.Cleanup(func() { laneIndexFn = old })
+}
+
+func TestLaneShape(t *testing.T) {
+	s := NewBinary()
+	if got := s.Lanes(); got < 1 {
+		t.Fatalf("Lanes() = %d, want >= 1", got)
+	}
+	s.SetLanes(3)
+	if got := s.Lanes(); got != 4 {
+		t.Fatalf("SetLanes(3): Lanes() = %d, want 4 (next power of two)", got)
+	}
+	s.SetLanes(1 << 20)
+	if got := s.Lanes(); got != maxLanes {
+		t.Fatalf("SetLanes(huge): Lanes() = %d, want cap %d", got, maxLanes)
+	}
+	s.SetLanes(0)
+	if got := s.Lanes(); got < 1 {
+		t.Fatalf("SetLanes(0): Lanes() = %d, want the GOMAXPROCS default", got)
+	}
+
+	// The zero value installs its lanes lazily and stays fully usable.
+	var z Sem
+	z.Post()
+	z.Wait()
+	if got := z.Lanes(); got < 1 {
+		t.Fatalf("zero-value Lanes() = %d, want >= 1", got)
+	}
+}
+
+// A post must find a parked waiter wherever it lives: the round-robin
+// scan sweeps every lane (work-stealing), so waiters crammed into one
+// far lane are still handed their permits in lane-FIFO order.
+func TestLaneWorkStealing(t *testing.T) {
+	forceLanePlacement(t, func() uint32 { return 3 })
+	s := NewBinary()
+	s.SetLanes(4)
+	done := parkN(t, s, 4)
+	for i, ch := range done {
+		s.Post()
+		waitClosed(t, ch, "stolen waiter")
+		// Later waiters of the same lane must still be parked.
+		for j := i + 1; j < len(done); j++ {
+			select {
+			case <-done[j]:
+				t.Fatalf("waiter %d woke before its lane-FIFO turn", j)
+			default:
+			}
+		}
+	}
+	if s.Waiters() != 0 || s.Value() != 0 {
+		t.Fatalf("leak after stealing drain: waiters=%d value=%d", s.Waiters(), s.Value())
+	}
+}
+
+// Waiters spread across every lane are all found and conserved under a
+// post/wait churn that hammers the scan → bank → rescan window. A lost
+// wake-up shows up as a hang (untimed Wait), so the whole churn runs
+// under a watchdog.
+func TestLaneConservationChurn(t *testing.T) {
+	var rr atomic.Uint32
+	forceLanePlacement(t, func() uint32 { return rr.Add(1) })
+	s := NewBinary()
+	s.SetLanes(4)
+
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s.Post()
+				s.Wait()
+			}
+		}()
+	}
+	finished := make(chan struct{})
+	go func() { wg.Wait(); close(finished) }()
+	select {
+	case <-finished:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("churn hung: %d waiters parked, %d banked — lost wake-up across lanes",
+			s.Waiters(), s.Value())
+	}
+	if got := s.Value(); got != 0 {
+		t.Fatalf("Value = %d after balanced churn, want 0", got)
+	}
+	if got := s.Waiters(); got != 0 {
+		t.Fatalf("Waiters = %d after balanced churn, want 0", got)
+	}
+}
+
+// The striped-lane equivalent of the core chain-drain-through-loser test
+// (PR 9): timeout and cancellation losers racing a PostAll across lanes.
+// Every waiter PostAll detaches must observe its permit — losers that
+// lose the unlink race consume the permit and keep their hand-off chain
+// moving — and every waiter that unlinked first reports its loss. The
+// tally must account for every goroutine and PostAll must bank nothing.
+func TestPostAllLoserRaceAcrossLanes(t *testing.T) {
+	var rr atomic.Uint32
+	forceLanePlacement(t, func() uint32 { return rr.Add(1) })
+
+	for iter := 0; iter < 40; iter++ {
+		s := NewBinary()
+		s.SetLanes(4)
+		s.procs.Store(4) // force chained scatter so losers sit inside chains
+
+		const timed, cancelled, untimed = 6, 6, 6
+		var woken, losers atomic.Int64
+		var wg sync.WaitGroup
+		ctx, cancel := context.WithCancel(context.Background())
+		for i := 0; i < timed; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				d := 2*time.Millisecond + time.Duration(i)*300*time.Microsecond
+				if s.WaitTimeout(d) {
+					woken.Add(1)
+				} else {
+					losers.Add(1)
+				}
+			}(i)
+		}
+		for i := 0; i < cancelled; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if s.WaitCtx(ctx) {
+					woken.Add(1)
+				} else {
+					losers.Add(1)
+				}
+			}()
+		}
+		for i := 0; i < untimed; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s.Wait()
+				woken.Add(1)
+			}()
+		}
+		total := timed + cancelled + untimed
+		deadline := time.Now().Add(5 * time.Second)
+		for s.Waiters() != total {
+			if time.Now().After(deadline) {
+				t.Fatalf("iter %d: only %d of %d parked", iter, s.Waiters(), total)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		// Fire the races: timeouts start expiring at ~2ms, the cancel
+		// lands mid-window, and the broadcast races both.
+		time.Sleep(2 * time.Millisecond)
+		go cancel()
+		n := s.PostAll()
+
+		finished := make(chan struct{})
+		go func() { wg.Wait(); close(finished) }()
+		select {
+		case <-finished:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("iter %d: drain hung — a chain stalled in a loser (waiters=%d)",
+				iter, s.Waiters())
+		}
+		if got := woken.Load(); got != int64(n) {
+			t.Fatalf("iter %d: PostAll detached %d but %d waiters observed permits",
+				iter, n, got)
+		}
+		if got := losers.Load(); got != int64(total-n) {
+			t.Fatalf("iter %d: %d losers for %d undetached waiters", iter, losers.Load(), total-n)
+		}
+		if v := s.Value(); v != 0 {
+			t.Fatalf("iter %d: PostAll banked %d permits", iter, v)
+		}
+		if w := s.Waiters(); w != 0 {
+			t.Fatalf("iter %d: %d waiters stranded", iter, w)
+		}
+	}
+}
+
+// The park fast path is allocation-free in steady state: waiter structs
+// (with their hand-off channels) and lane-affinity hints are pooled, so
+// a post/wait round-trip through a real park allocates nothing. This is
+// the overhead-gate guard verify.sh runs.
+func TestWaitPooledNoAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates on the park path")
+	}
+	s1, s2 := NewBinary(), NewBinary()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			s1.Wait()
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s2.Post()
+		}
+	}()
+	// Warm the waiter and lane-hint pools: a GC triggered by earlier
+	// tests' garbage may have emptied them, and the guard is about the
+	// steady state, not the cold start.
+	for i := 0; i < 8; i++ {
+		s1.Post()
+		s2.Wait()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s1.Post()
+		s2.Wait()
+	})
+	close(stop)
+	s1.Post()
+	<-done
+	if allocs != 0 {
+		t.Errorf("park round-trip allocates %.2f objects/op, want 0", allocs)
+	}
+}

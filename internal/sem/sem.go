@@ -13,20 +13,52 @@
 //     the waiter enqueues itself and completes its sync block *before*
 //     sleeping; if a notifier runs in that window, its SemPost is
 //     memorized by the semaphore.
-//  2. Direct hand-off: Post transfers a permit to the longest-waiting
-//     sleeper if one exists, rather than bumping a counter that any
-//     barging thread could steal. Combined with the condvar's queue this
+//  2. Direct hand-off: a Post that finds a parked waiter hands the
+//     permit to it directly (the permit never becomes visible to a
+//     barging TryWait), so combined with the condvar's queue this
 //     yields the deterministic wake-up semantics of Section 3.4.
 //
 // Waiters are descheduled (parked on a channel) rather than spinning, so
 // the "Yielding" requirement of Section 3.4 holds even with heavy
 // oversubscription of goroutines over OS threads.
+//
+// # Striped waiter lanes
+//
+// Parked waiters live in per-P striped lanes (Dice & Kogan, "Semaphores
+// Augmented with a Waiting Array"): a waiter enqueues on the lane of the
+// P it is running on, posts drain lanes round-robin and steal from other
+// lanes when their first pick is empty. FIFO order is preserved within a
+// lane; global FIFO holds only for a single-lane semaphore (the default
+// when GOMAXPROCS is 1, or after SetLanes(1)). Banked permits — posts
+// that found no waiter — live in one global atomic counter, never in a
+// lane, so timeout and cancellation losers just unlink from their lane
+// and never have to repair the count.
+//
+// The post protocol is scan → bank → rescan:
+//
+//  1. scan the lanes for a parked waiter; if one is found the permit is
+//     handed off directly and the counter is never touched (no barging
+//     window);
+//  2. otherwise bank the permit (one uncontended atomic add);
+//  3. rescan the lanes once: a waiter that enqueued between the scan and
+//     the bank rechecked the counter under its lane lock *after*
+//     enqueueing, so either it saw the banked permit and self-served, or
+//     its enqueue is visible to this rescan, which reclaims the banked
+//     permit (a CAS that can lose only to a concurrent acquire — in
+//     which case the permit went to that acquirer and the post's
+//     obligation is met) and hands it off.
+//
+// The lane-lock/recheck pairing on the wait side and the bank-before-
+// rescan ordering on the post side are what close the lost-wake-up
+// window; DESIGN.md §16 carries the full argument.
 package sem
 
 import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -69,22 +101,67 @@ type wake struct {
 }
 
 // waiter is one parked goroutine. The channel has capacity 1 so that a
-// poster never blocks handing over a permit.
+// poster never blocks handing over a permit. Waiters are pooled: every
+// exit path provably drains the channel before releasing the struct, so
+// reuse can never deliver a stale signal.
 type waiter struct {
 	ch   chan wake
 	next *waiter
 
+	// lane is the index of the lane this waiter enqueued on, remembered
+	// so timeout/cancel losers unlink from the right lane without a scan.
+	lane uint32
+
 	// parkedAt is the monotonic park-start timestamp, stamped under the
-	// semaphore lock by enqueueLocked and read under the same lock by
+	// lane lock by enqueue and read under the same lock by
 	// WaiterAges/OldestParkAge — the live park-age source behind
 	// /debug/cv/waiters.
 	parkedAt time.Time
 }
 
-// Spin-then-park tuning bounds (Dice & Kogan, "Semaphores Augmented
-// with a Waiting Array": a bounded optimistic spin before the park
-// removes the kernel round-trip when hand-offs are fast, and must decay
-// to pure parking when they are not).
+// waiterPool recycles waiter structs (and their hand-off channels) so the
+// park path allocates nothing in steady state. A struct is returned only
+// once its channel is provably empty: either the signal was consumed, or
+// the waiter was unlinked under its lane lock before any poster could
+// have dequeued it.
+var waiterPool = sync.Pool{New: func() any { return &waiter{ch: make(chan wake, 1)} }}
+
+func getWaiter() *waiter { return waiterPool.Get().(*waiter) }
+
+func putWaiter(w *waiter) {
+	w.next = nil
+	waiterPool.Put(w)
+}
+
+// laneHint rides a sync.Pool to give each P a stable lane index without
+// touching runtime internals: Pool.Get serves the P-local slot first, so
+// consecutive waiters on one P see the same hint while different Ps get
+// hints minted from a round-robin counter. The hint is advisory — any
+// value is correct, it only steers locality.
+type laneHint struct{ n uint32 }
+
+var (
+	laneHintSeq  atomic.Uint32
+	laneHintPool = sync.Pool{New: func() any {
+		return &laneHint{n: laneHintSeq.Add(1) - 1}
+	}}
+)
+
+func poolLaneIndex() uint32 {
+	h := laneHintPool.Get().(*laneHint)
+	n := h.n
+	laneHintPool.Put(h)
+	return n
+}
+
+// laneIndexFn returns the lane-affinity hint for the calling goroutine.
+// A package variable so tests on a single-P host can force cross-lane
+// placement deterministically.
+var laneIndexFn = poolLaneIndex
+
+// Spin-then-park tuning bounds (Dice & Kogan: a bounded optimistic spin
+// before the park removes the kernel round-trip when hand-offs are fast,
+// and must decay to pure parking when they are not).
 const (
 	// spinLimit caps the adaptive spin budget (poll iterations with a
 	// Gosched between them — cooperative, never a hard busy loop).
@@ -93,37 +170,135 @@ const (
 	// considered "fast": parks shorter than this grow the spin budget,
 	// longer ones shrink it.
 	spinParkThreshold = 50 * time.Microsecond
+	// maxLanes bounds the stripe width however large GOMAXPROCS gets;
+	// beyond this the scan cost outweighs the contention win.
+	maxLanes = 64
 )
+
+// lane is one stripe of the waiter array: a FIFO list under its own
+// lock, with an atomic length so posts can skip empty lanes without
+// taking the lock. Padded to keep neighbouring lanes off one cache line.
+type lane struct {
+	mu         mutex
+	head, tail *waiter
+	n          atomic.Int32
+	_          [36]byte // pad to 64 bytes: keep neighbouring lanes apart
+}
+
+func (l *lane) enqueue(w *waiter) {
+	w.parkedAt = time.Now()
+	if l.tail == nil {
+		l.head, l.tail = w, w
+	} else {
+		l.tail.next = w
+		l.tail = w
+	}
+	l.n.Add(1)
+}
+
+// pop removes and returns the lane's longest-waiting waiter, or nil.
+func (l *lane) pop() *waiter {
+	w := l.head
+	if w == nil {
+		return nil
+	}
+	l.head = w.next
+	if l.head == nil {
+		l.tail = nil
+	}
+	w.next = nil
+	l.n.Add(-1)
+	return w
+}
+
+// detach removes up to n waiters from the head of the lane, preserving
+// their intra-batch next links, and cuts the last link into the
+// remaining queue. It returns the batch head and the number detached.
+func (l *lane) detach(n int) (*waiter, int) {
+	if n <= 0 || l.head == nil {
+		return nil, 0
+	}
+	head := l.head
+	last, cnt := head, 1
+	for cnt < n && last.next != nil {
+		last = last.next
+		cnt++
+	}
+	l.head = last.next
+	if l.head == nil {
+		l.tail = nil
+	}
+	last.next = nil
+	l.n.Add(int32(-cnt))
+	return head, cnt
+}
+
+// unlink removes w from the lane, reporting whether it was still present.
+func (l *lane) unlink(w *waiter) bool {
+	var prev *waiter
+	for cur := l.head; cur != nil; cur = cur.next {
+		if cur == w {
+			if prev == nil {
+				l.head = cur.next
+			} else {
+				prev.next = cur.next
+			}
+			if l.tail == cur {
+				l.tail = prev
+			}
+			cur.next = nil
+			l.n.Add(-1)
+			return true
+		}
+		prev = cur
+	}
+	return false
+}
+
+// laneSet is an immutable lane array; Sem swaps the whole set atomically
+// so the zero value can lazily install its lanes on first use.
+type laneSet struct {
+	mask  uint32 // len(lanes)-1; lane count is a power of two
+	lanes []lane
+}
 
 // Sem is a counting semaphore. The zero value is a semaphore with zero
 // permits; use New to start with an initial count.
 //
 // Sem must not be copied after first use.
 type Sem struct {
-	mu mutex // tiny spinlock-free mutex; see lock.go
+	// count holds banked permits only — posts that found no waiter.
+	// It is never negative; parked waiters are counted by the lanes.
+	// Permits handed directly to a parked waiter never pass through it.
+	count atomic.Int64
 
-	// count is the number of available permits. Invariant: count > 0
-	// implies the waiter list is empty (permits are handed to waiters
-	// eagerly by Post).
-	count int64
+	// ls is the current lane set, installed lazily for the zero value.
+	ls atomic.Pointer[laneSet]
 
-	// FIFO list of parked waiters.
-	head, tail *waiter
+	// procs is runtime.GOMAXPROCS sampled once when the lanes are
+	// installed (refreshable via Refresh): it gates the spin phase and
+	// the chained-scatter decision, so a mid-run GOMAXPROCS change can
+	// no longer flip post behaviour per call.
+	procs atomic.Int32
+
+	// rr rotates the lane a post scans first, spreading drain work.
+	rr atomic.Uint32
 
 	// spin is the adaptive spin budget: how many channel polls Wait
 	// attempts before descheduling. Zero (the zero value) means park
 	// immediately; the budget grows only on evidence of fast hand-offs
 	// and decays back when parks run long, so an idle or slow semaphore
-	// never busy-waits.
+	// never busy-waits. Pinned to zero when procs == 1: with a single P
+	// the Gosched-polled spin can never overlap a poster.
 	spin atomic.Int32
 
 	st *Stats
 
-	// Optional tracer and the lane its events are attributed to (the
-	// owning condvar node id, when used as a per-waiter binary
+	// Optional tracer and the trace lane its events are attributed to
+	// (the owning condvar node id, when used as a per-waiter binary
 	// semaphore). Set via SetTrace; nil-safe when unset.
-	tr   *obs.Tracer
-	lane uint64
+	tr     *obs.Tracer
+	trLane uint64
 
 	// Optional fault injector (internal/fault). Set via SetFault;
 	// nil-safe when unset, one atomic load when disarmed.
@@ -131,11 +306,16 @@ type Sem struct {
 }
 
 // New returns a semaphore holding n initial permits. n must be >= 0.
+// The lane count defaults to GOMAXPROCS sampled here, once (capped at
+// maxLanes, rounded up to a power of two); override with SetLanes.
 func New(n int64) *Sem {
 	if n < 0 {
 		panic(fmt.Sprintf("sem: negative initial count %d", n))
 	}
-	return &Sem{count: n}
+	s := &Sem{}
+	s.count.Store(n)
+	s.installLanes(0)
+	return s
 }
 
 // NewBinary returns a semaphore suitable for use as the per-thread binary
@@ -143,14 +323,72 @@ func New(n int64) *Sem {
 // Wait blocks until the matching Post.
 func NewBinary() *Sem { return New(0) }
 
+// nextPow2 rounds n up to the next power of two (n >= 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// installLanes builds and installs a lane set of k lanes (k <= 0 means
+// one per GOMAXPROCS) and samples procs if not yet sampled. Used by the
+// constructors, by lazy zero-value initialization, and by SetLanes.
+func (s *Sem) installLanes(k int) *laneSet {
+	p := runtime.GOMAXPROCS(0)
+	s.procs.CompareAndSwap(0, int32(p))
+	if k <= 0 {
+		k = p
+	}
+	if k > maxLanes {
+		k = maxLanes
+	}
+	k = nextPow2(k)
+	ls := &laneSet{mask: uint32(k - 1), lanes: make([]lane, k)}
+	if s.ls.CompareAndSwap(nil, ls) {
+		return ls
+	}
+	return s.ls.Load()
+}
+
+// lanes returns the current lane set, installing the default one on
+// first use (the zero-value path).
+func (s *Sem) lanes() *laneSet {
+	if ls := s.ls.Load(); ls != nil {
+		return ls
+	}
+	return s.installLanes(0)
+}
+
+// SetLanes overrides the lane count (rounded up to a power of two,
+// capped at maxLanes; k <= 0 restores the GOMAXPROCS default). Like
+// SetStats it is not synchronized with concurrent operations: call it
+// before sharing the semaphore — waiters parked on the old lanes would
+// be stranded.
+func (s *Sem) SetLanes(k int) {
+	s.ls.Store(nil)
+	s.installLanes(k)
+}
+
+// Lanes reports the current lane count.
+func (s *Sem) Lanes() int { return len(s.lanes().lanes) }
+
+// Refresh re-samples runtime.GOMAXPROCS for the spin-phase and
+// chained-scatter decisions. The lane layout itself is fixed once
+// installed (waiters may be parked on it); use SetLanes before sharing
+// to change it.
+func (s *Sem) Refresh() { s.procs.Store(int32(runtime.GOMAXPROCS(0))) }
+
 // SetStats attaches a stats sink; pass nil to detach. Not synchronized
 // with concurrent operations; call before sharing the semaphore.
 func (s *Sem) SetStats(st *Stats) { s.st = st }
 
-// SetTrace attaches an event tracer and the lane (e.g. the owning condvar
-// node id) park/unpark events are attributed to. Like SetStats it is not
-// synchronized with concurrent operations; call before sharing.
-func (s *Sem) SetTrace(tr *obs.Tracer, lane uint64) { s.tr, s.lane = tr, lane }
+// SetTrace attaches an event tracer and the trace lane (e.g. the owning
+// condvar node id) park/unpark events are attributed to. Like SetStats
+// it is not synchronized with concurrent operations; call before
+// sharing.
+func (s *Sem) SetTrace(tr *obs.Tracer, lane uint64) { s.tr, s.trLane = tr, lane }
 
 // SetFault attaches a fault injector; pass nil to detach. Like SetStats
 // it is not synchronized with concurrent operations; call before
@@ -166,7 +404,7 @@ func (s *Sem) faultAt(p fault.Point) {
 	if d.Action == fault.ActNone {
 		return
 	}
-	s.tr.Emit(s.lane, obs.EvFaultInject, int64(p), int64(d.Action))
+	s.tr.Emit(s.trLane, obs.EvFaultInject, int64(p), int64(d.Action))
 	d.Pause()
 }
 
@@ -178,11 +416,11 @@ func (s *Sem) faultAt(p fault.Point) {
 // The label gate is one atomic load when off.
 func (s *Sem) parkStart() time.Time {
 	if obs.ParkLabelsEnabled() {
-		labelParked(s.lane)
+		labelParked(s.trLane)
 	}
 	t0 := time.Now()
 	if s.tr.Enabled() {
-		s.tr.Emit(s.lane, obs.EvSemPark, 0, 0)
+		s.tr.Emit(s.trLane, obs.EvSemPark, 0, 0)
 	}
 	return t0
 }
@@ -206,15 +444,15 @@ func (s *Sem) parkEnd(t0 time.Time) {
 		s.st.ParkNanos.Observe(d)
 	}
 	if tr := s.tr; tr.Enabled() {
-		tr.EmitEvent(obs.Event{TS: tr.Now() - d, Dur: d, Type: obs.EvSemUnpark, Lane: s.lane})
+		tr.EmitEvent(obs.Event{TS: tr.Now() - d, Dur: d, Type: obs.EvSemUnpark, Lane: s.trLane})
 	}
 }
 
 // handoff unparks a detached waiter, passing it the rest of its detached
 // chain. The send cannot block (capacity 1, one permit per waiter) and
 // the next link is cleared first so the woken goroutine's waiter struct
-// retains nothing once it resumes. Callers must not hold the semaphore
-// lock merely for ordering — the links were written under it, and the
+// retains nothing once it resumes. Callers must not hold a lane lock
+// merely for ordering — the links were written under it, and the
 // channel send publishes them to the receiver.
 func handoff(w *waiter, flow uint64, hop int32) {
 	nx := w.next
@@ -233,38 +471,87 @@ func handoff(w *waiter, flow uint64, hop int32) {
 // costs one integer compare.
 func (s *Sem) forward(sig wake) {
 	if sig.flow != 0 && s.tr.Enabled() {
-		s.tr.EmitFlow(s.lane, obs.EvSemHandoff, sig.flow, int64(sig.hop), 0)
+		s.tr.EmitFlow(s.trLane, obs.EvSemHandoff, sig.flow, int64(sig.hop), 0)
 	}
 	if sig.next != nil {
 		handoff(sig.next, sig.flow, sig.hop+1)
 	}
 }
 
-// detachLocked removes up to n waiters from the head of the FIFO list,
-// preserving their intra-batch next links, and cuts the last link into
-// the remaining queue. It returns the batch head and the number of
-// waiters detached.
-func (s *Sem) detachLocked(n int) (*waiter, int) {
-	if n <= 0 || s.head == nil {
-		return nil, 0
+// tryAcquire consumes one banked permit, reporting success. It loops on
+// the CAS so a waiter rechecking under its lane lock cannot be defeated
+// by counter churn alone — only by the count actually reaching zero.
+func (s *Sem) tryAcquire() bool {
+	for {
+		c := s.count.Load()
+		if c <= 0 {
+			return false
+		}
+		if s.count.CompareAndSwap(c, c-1) {
+			return true
+		}
 	}
-	head := s.head
-	last, cnt := head, 1
-	for cnt < n && last.next != nil {
-		last = last.next
-		cnt++
-	}
-	s.head = last.next
-	if s.head == nil {
-		s.tail = nil
-	}
-	last.next = nil
-	return head, cnt
 }
 
-// Post makes one permit available. If a goroutine is blocked in Wait, the
-// longest-waiting one receives the permit directly and becomes runnable;
-// otherwise the permit is banked for a future Wait.
+// dequeueOne scans the lanes round-robin (work-stealing: the rotating
+// start plus the full sweep means an empty home lane falls through to
+// its neighbours) and pops the first waiter found. The permit count is
+// not touched — the caller hands its in-hand permit over directly.
+func (s *Sem) dequeueOne() *waiter {
+	ls := s.ls.Load()
+	if ls == nil {
+		return nil // no lanes yet: nobody has ever parked
+	}
+	start := s.rr.Add(1)
+	for i := uint32(0); i <= ls.mask; i++ {
+		l := &ls.lanes[(start+i)&ls.mask]
+		if l.n.Load() == 0 {
+			continue
+		}
+		l.mu.lock()
+		w := l.pop()
+		l.mu.unlock()
+		if w != nil {
+			return w
+		}
+	}
+	return nil
+}
+
+// reclaimOne is the post-bank rescan: it looks for a waiter that
+// enqueued between the scan and the bank and, if one is found, reclaims
+// a banked permit for it. A failed reclaim means a concurrent acquire
+// took the permit — the post's obligation is met through that acquirer,
+// so the scan stops.
+func (s *Sem) reclaimOne() *waiter {
+	ls := s.ls.Load()
+	if ls == nil {
+		return nil
+	}
+	start := s.rr.Add(1)
+	for i := uint32(0); i <= ls.mask; i++ {
+		if s.count.Load() <= 0 {
+			return nil // drained: the permit went to an acquirer
+		}
+		l := &ls.lanes[(start+i)&ls.mask]
+		if l.n.Load() == 0 {
+			continue
+		}
+		l.mu.lock()
+		if l.head != nil && s.tryAcquire() {
+			w := l.pop()
+			l.mu.unlock()
+			return w
+		}
+		l.mu.unlock()
+	}
+	return nil
+}
+
+// Post makes one permit available. If a goroutine is blocked in Wait, a
+// parked waiter (the longest-waiting of its lane) receives the permit
+// directly and becomes runnable; otherwise the permit is banked for a
+// future Wait.
 //
 // Post never blocks and is safe to call from commit handlers, which is how
 // the condition variable defers wake-ups to transaction commit.
@@ -272,12 +559,11 @@ func (s *Sem) Post() {
 	// Fault hook: delay the (possibly commit-deferred) SEMPOST, widening
 	// the notify→wake window.
 	s.faultAt(fault.SemPost)
-	s.mu.lock()
-	w, cnt := s.detachLocked(1)
-	if cnt == 0 {
-		s.count++
+	w := s.dequeueOne()
+	if w == nil {
+		s.count.Add(1)
+		w = s.reclaimOne()
 	}
-	s.mu.unlock()
 	if w != nil {
 		handoff(w, 0, 0)
 	}
@@ -286,23 +572,30 @@ func (s *Sem) Post() {
 	}
 }
 
-// postFanout is the number of hand-off chains a batched post starts when
-// the runtime has parallelism for them to propagate on. It mirrors
-// core.DefaultWakeFanout one layer down.
+// postFanout is the number of hand-off chains a batched post starts per
+// lane batch when the runtime has parallelism for them to propagate on.
+// It mirrors core.DefaultWakeFanout one layer down.
 const postFanout = 8
 
+// batch is one lane's detached FIFO chain, scattered as a unit.
+type batch struct {
+	head *waiter
+	cnt  int
+}
+
 // scatter unparks a detached FIFO batch of cnt waiters. When the
-// scheduler has parallelism (GOMAXPROCS > 1) and the batch is wide, the
-// batch is cut into up to postFanout contiguous chains and only the
+// scheduler has parallelism (procs sampled > 1) and the batch is wide,
+// the batch is cut into up to postFanout contiguous chains and only the
 // chain heads are posted here — each woken waiter unparks its successor,
 // so the wake wave spreads across the running CPUs instead of
 // serializing on the poster. Chained hand-off trades poster-side posts
 // for wake-to-wake scheduling hops; with a single P there is no
 // parallelism to win the hops back, so the degenerate case posts every
-// waiter directly (still under the single batch lock acquisition).
-func scatter(head *waiter, cnt int, flow uint64) {
+// waiter directly. Batched posts call this once per non-empty lane: the
+// chains never cross a lane boundary.
+func (s *Sem) scatter(head *waiter, cnt int, flow uint64) {
 	f := cnt
-	if runtime.GOMAXPROCS(0) > 1 && cnt > postFanout {
+	if s.procs.Load() > 1 && cnt > postFanout {
 		f = postFanout
 	}
 	if f >= cnt {
@@ -327,12 +620,12 @@ func scatter(head *waiter, cnt int, flow uint64) {
 	}
 }
 
-// PostN posts n permits. Equivalent to n calls of Post but takes the
-// internal lock once per handed-off waiter batch and draws the
-// fault.SemPost hook once per batch: up to n parked waiters are detached
-// in FIFO order under a single lock acquisition and unparked via scatter
-// (chained hand-off when the runtime is parallel enough to profit), and
-// any permits left over are banked.
+// PostN posts n permits. Equivalent to n calls of Post but detaches
+// waiters in per-lane FIFO batches (one lane-lock acquisition per
+// non-empty lane) and draws the fault.SemPost hook once per batch:
+// parked waiters are unparked via scatter (chained hand-off when the
+// runtime is parallel enough to profit), and any permits left over are
+// banked.
 func (s *Sem) PostN(n int) { s.postN(n, 0) }
 
 // PostNFlow is PostN tagged with a causal-flow id: every waiter woken by
@@ -347,12 +640,71 @@ func (s *Sem) postN(n int, flow uint64) {
 		return
 	}
 	s.faultAt(fault.SemPost)
-	s.mu.lock()
-	head, cnt := s.detachLocked(n)
-	s.count += int64(n - cnt)
-	s.mu.unlock()
-	if head != nil {
-		scatter(head, cnt, flow)
+	var batches []batch
+	remaining := n
+	// Phase 1: direct detach — permits in hand, the count is not touched.
+	if ls := s.ls.Load(); ls != nil {
+		start := s.rr.Add(1)
+		for i := uint32(0); i <= ls.mask && remaining > 0; i++ {
+			l := &ls.lanes[(start+i)&ls.mask]
+			if l.n.Load() == 0 {
+				continue
+			}
+			l.mu.lock()
+			h, c := l.detach(remaining)
+			l.mu.unlock()
+			if c > 0 {
+				batches = append(batches, batch{h, c})
+				remaining -= c
+			}
+		}
+	}
+	if remaining > 0 {
+		// Phase 2: bank the surplus, then one full rescan to catch
+		// waiters that enqueued after their lane's phase-1 visit (their
+		// recheck may have preceded the bank). See the package comment's
+		// scan → bank → rescan argument.
+		s.count.Add(int64(remaining))
+		if ls := s.ls.Load(); ls != nil {
+			start := s.rr.Add(1)
+		rescan:
+			for i := uint32(0); i <= ls.mask; i++ {
+				if s.count.Load() <= 0 {
+					break
+				}
+				l := &ls.lanes[(start+i)&ls.mask]
+				if l.n.Load() == 0 {
+					continue
+				}
+				var h, t *waiter
+				c := 0
+				l.mu.lock()
+				for l.head != nil {
+					if !s.tryAcquire() {
+						break
+					}
+					w := l.pop()
+					if h == nil {
+						h, t = w, w
+					} else {
+						t.next = w
+						t = w
+					}
+					c++
+				}
+				drained := l.head != nil // stopped on a failed reclaim
+				l.mu.unlock()
+				if c > 0 {
+					batches = append(batches, batch{h, c})
+				}
+				if drained {
+					break rescan
+				}
+			}
+		}
+	}
+	for _, b := range batches {
+		s.scatter(b.head, b.cnt, flow)
 	}
 	if s.st != nil {
 		s.st.Posts.Add(int64(n))
@@ -362,7 +714,9 @@ func (s *Sem) postN(n int, flow uint64) {
 // PostAll unparks every currently blocked waiter in a single batched
 // hand-off and reports how many there were. Unlike PostN it banks
 // nothing: a semaphore with no waiters is left untouched. This is the
-// broadcast primitive the condvar's batched NotifyAll rides on.
+// broadcast primitive the condvar's batched NotifyAll rides on. Each
+// non-empty lane contributes one detached FIFO batch (its own hand-off
+// chains), so the wake wave starts in parallel across the lanes.
 func (s *Sem) PostAll() int { return s.postAll(0) }
 
 // PostAllFlow is PostAll tagged with a causal-flow id; see PostNFlow.
@@ -370,16 +724,32 @@ func (s *Sem) PostAllFlow(flow uint64) int { return s.postAll(flow) }
 
 func (s *Sem) postAll(flow uint64) int {
 	s.faultAt(fault.SemPost)
-	s.mu.lock()
-	head, cnt := s.detachLocked(int(^uint(0) >> 1))
-	s.mu.unlock()
-	if head != nil {
-		scatter(head, cnt, flow)
+	ls := s.ls.Load()
+	if ls == nil {
+		return 0
 	}
-	if s.st != nil && cnt > 0 {
-		s.st.Posts.Add(int64(cnt))
+	total := 0
+	var batches []batch
+	for i := range ls.lanes {
+		l := &ls.lanes[i]
+		if l.n.Load() == 0 {
+			continue
+		}
+		l.mu.lock()
+		h, c := l.detach(int(^uint(0) >> 1))
+		l.mu.unlock()
+		if c > 0 {
+			batches = append(batches, batch{h, c})
+			total += c
+		}
 	}
-	return cnt
+	for _, b := range batches {
+		s.scatter(b.head, b.cnt, flow)
+	}
+	if s.st != nil && total > 0 {
+		s.st.Posts.Add(int64(total))
+	}
+	return total
 }
 
 // spinWait polls w.ch for up to budget iterations, yielding the
@@ -403,7 +773,14 @@ func spinWait(w *waiter, budget int32) (wake, bool) {
 // just observed: fast hand-offs (poster arrived almost immediately) grow
 // the budget so the next Wait can catch the permit without descheduling;
 // slow ones shrink it toward zero so an idle semaphore parks outright.
+// With a single P the budget pins to zero — the Gosched-polled spin can
+// never overlap a poster there, so even "fast" hand-offs are evidence of
+// scheduling luck, not of a spin that could have won.
 func (s *Sem) tuneSpin(parked time.Duration) {
+	if s.procs.Load() <= 1 {
+		s.spin.Store(0)
+		return
+	}
 	b := s.spin.Load()
 	if parked >= 0 && parked < spinParkThreshold {
 		b = b*2 + 8
@@ -416,36 +793,69 @@ func (s *Sem) tuneSpin(parked time.Duration) {
 	s.spin.Store(b)
 }
 
+// prepark enqueues a pooled waiter on the caller's lane and rechecks the
+// banked count under the lane lock. A successful recheck unlinks the
+// waiter again (it is guaranteed still present: posters need this lane's
+// lock to dequeue it) and reports (nil, true) — the permit was acquired
+// without parking. Otherwise the enqueued waiter is returned and the
+// caller must park on its channel.
+func (s *Sem) prepark() (*waiter, bool) {
+	ls := s.lanes()
+	li := laneIndexFn() & ls.mask
+	l := &ls.lanes[li]
+	w := getWaiter()
+	w.lane = li
+	l.mu.lock()
+	l.enqueue(w)
+	// The recheck: a post that banked before our enqueue became visible
+	// must be consumable here, or its rescan must find us (it cannot
+	// rescan this lane before we release the lock).
+	if s.tryAcquire() {
+		l.unlink(w)
+		l.mu.unlock()
+		putWaiter(w)
+		return nil, true
+	}
+	l.mu.unlock()
+	return w, false
+}
+
 // Wait acquires one permit, descheduling the caller until one is
-// available. Permits are delivered in FIFO order among blocked waiters.
+// available. Permits are delivered in FIFO order among blocked waiters
+// of the same lane.
 //
 // Before descheduling, Wait optimistically polls its hand-off channel
 // for a bounded, adaptively tuned number of iterations (spin-then-park):
 // when recent hand-offs have been fast the permit usually lands during
 // the spin and the park/unpark round-trip is skipped entirely. The
-// budget starts at zero and decays on slow hand-offs, so a semaphore
-// nobody posts to never busy-waits.
+// budget starts at zero, decays on slow hand-offs and is pinned to zero
+// on a single-P runtime, so a semaphore nobody posts to never busy-waits.
 func (s *Sem) Wait() {
-	s.mu.lock()
-	if s.count > 0 {
-		s.count--
-		s.mu.unlock()
+	if s.tryAcquire() {
 		if s.st != nil {
 			s.st.Waits.Inc()
 			s.st.FastWaits.Inc()
 		}
 		return
 	}
-	w := &waiter{ch: make(chan wake, 1)}
-	s.enqueueLocked(w)
-	s.mu.unlock()
+	w, acquired := s.prepark()
+	if acquired {
+		if s.st != nil {
+			s.st.Waits.Inc()
+			s.st.FastWaits.Inc()
+		}
+		return
+	}
 	// Fault hook: stall between publishing ourselves as a waiter and
 	// descheduling — a Post landing in this window must be memorized in
 	// the handoff channel, never lost.
 	s.faultAt(fault.SemPark)
-	if budget := s.spin.Load(); budget > 0 {
+	// The spin phase only makes sense with another P to run the poster;
+	// on a single P it would burn the rest of this goroutine's slice.
+	if budget := s.spin.Load(); budget > 0 && s.procs.Load() > 1 {
 		if sig, ok := spinWait(w, budget); ok {
 			s.forward(sig)
+			putWaiter(w)
 			if s.st != nil {
 				s.st.SpinWaits.Inc()
 				s.st.Waits.Inc()
@@ -459,6 +869,7 @@ func (s *Sem) Wait() {
 	t0 := s.parkStart()
 	sig := <-w.ch
 	s.forward(sig)
+	putWaiter(w)
 	s.parkEnd(t0)
 	s.tuneSpin(time.Since(t0))
 	if s.st != nil {
@@ -466,27 +877,26 @@ func (s *Sem) Wait() {
 	}
 }
 
-// TryWait acquires a permit only if one is immediately available. It
-// reports whether a permit was acquired.
+// TryWait acquires a permit only if one is immediately available
+// (banked — permits in flight to a parked waiter are never visible
+// here). It reports whether a permit was acquired.
 func (s *Sem) TryWait() bool {
-	s.mu.lock()
-	if s.count > 0 {
-		s.count--
-		s.mu.unlock()
+	if s.tryAcquire() {
 		if s.st != nil {
 			s.st.Waits.Inc()
 			s.st.FastWaits.Inc()
 		}
 		return true
 	}
-	s.mu.unlock()
 	return false
 }
 
 // WaitTimeout acquires a permit, giving up after d. It reports whether a
-// permit was acquired. A timed-out waiter is unlinked from the queue; if a
+// permit was acquired. A timed-out waiter is unlinked from its lane; if a
 // Post races with the timeout and hands the permit over anyway, the permit
-// is kept and WaitTimeout returns true (no permit is ever lost).
+// is kept and WaitTimeout returns true (no permit is ever lost). Losers
+// never touched the banked count, so no counter repair is needed — the
+// lane-local cancel discipline the striped layout depends on.
 //
 // A non-positive d acts exactly as TryWait — the caller is never parked
 // — except that a failed acquire still counts as a timeout in Stats.
@@ -500,19 +910,21 @@ func (s *Sem) WaitTimeout(d time.Duration) bool {
 		}
 		return false
 	}
-	s.mu.lock()
-	if s.count > 0 {
-		s.count--
-		s.mu.unlock()
+	if s.tryAcquire() {
 		if s.st != nil {
 			s.st.Waits.Inc()
 			s.st.FastWaits.Inc()
 		}
 		return true
 	}
-	w := &waiter{ch: make(chan wake, 1)}
-	s.enqueueLocked(w)
-	s.mu.unlock()
+	w, acquired := s.prepark()
+	if acquired {
+		if s.st != nil {
+			s.st.Waits.Inc()
+			s.st.FastWaits.Inc()
+		}
+		return true
+	}
 	if s.st != nil {
 		s.st.Blocks.Inc()
 	}
@@ -524,6 +936,7 @@ func (s *Sem) WaitTimeout(d time.Duration) bool {
 	select {
 	case sig := <-w.ch:
 		s.forward(sig)
+		putWaiter(w)
 		s.parkEnd(t0)
 		if s.st != nil {
 			s.st.Waits.Inc()
@@ -532,21 +945,25 @@ func (s *Sem) WaitTimeout(d time.Duration) bool {
 	case <-t.C:
 	}
 
-	// Timed out: remove ourselves. A concurrent Post may have already
-	// dequeued us and committed a permit to w.ch; check under the lock.
-	s.mu.lock()
-	if s.unlinkLocked(w) {
-		s.mu.unlock()
+	// Timed out: remove ourselves from our lane. A concurrent Post may
+	// have already dequeued us and committed a permit to w.ch; check
+	// under the lane lock.
+	l := &s.lanes().lanes[w.lane]
+	l.mu.lock()
+	if l.unlink(w) {
+		l.mu.unlock()
+		putWaiter(w)
 		s.parkEnd(t0)
 		if s.st != nil {
 			s.st.Timeouts.Inc()
 		}
 		return false
 	}
-	s.mu.unlock()
+	l.mu.unlock()
 	// We were already dequeued by a Post: the permit is (or will be) in
 	// the channel. Take it — and keep any hand-off chain moving.
 	s.forward(<-w.ch)
+	putWaiter(w)
 	s.parkEnd(t0)
 	if s.st != nil {
 		s.st.Waits.Inc()
@@ -562,10 +979,7 @@ func (s *Sem) WaitTimeout(d time.Duration) bool {
 // waiter. An already-cancelled ctx still acquires an immediately
 // available permit (TryWait semantics) but never parks.
 func (s *Sem) WaitCtx(ctx context.Context) bool {
-	s.mu.lock()
-	if s.count > 0 {
-		s.count--
-		s.mu.unlock()
+	if s.tryAcquire() {
 		if s.st != nil {
 			s.st.Waits.Inc()
 			s.st.FastWaits.Inc()
@@ -573,15 +987,19 @@ func (s *Sem) WaitCtx(ctx context.Context) bool {
 		return true
 	}
 	if ctx.Err() != nil {
-		s.mu.unlock()
 		if s.st != nil {
 			s.st.Cancels.Inc()
 		}
 		return false
 	}
-	w := &waiter{ch: make(chan wake, 1)}
-	s.enqueueLocked(w)
-	s.mu.unlock()
+	w, acquired := s.prepark()
+	if acquired {
+		if s.st != nil {
+			s.st.Waits.Inc()
+			s.st.FastWaits.Inc()
+		}
+		return true
+	}
 	if s.st != nil {
 		s.st.Blocks.Inc()
 	}
@@ -591,6 +1009,7 @@ func (s *Sem) WaitCtx(ctx context.Context) bool {
 	select {
 	case sig := <-w.ch:
 		s.forward(sig)
+		putWaiter(w)
 		s.parkEnd(t0)
 		if s.st != nil {
 			s.st.Waits.Inc()
@@ -599,22 +1018,26 @@ func (s *Sem) WaitCtx(ctx context.Context) bool {
 	case <-ctx.Done():
 	}
 
-	// Cancelled: remove ourselves. A concurrent Post may have already
-	// dequeued us and committed a permit to w.ch; check under the lock.
-	s.mu.lock()
-	if s.unlinkLocked(w) {
-		s.mu.unlock()
+	// Cancelled: remove ourselves from our lane. A concurrent Post may
+	// have already dequeued us and committed a permit to w.ch; check
+	// under the lane lock.
+	l := &s.lanes().lanes[w.lane]
+	l.mu.lock()
+	if l.unlink(w) {
+		l.mu.unlock()
+		putWaiter(w)
 		s.parkEnd(t0)
 		if s.st != nil {
 			s.st.Cancels.Inc()
 		}
 		return false
 	}
-	s.mu.unlock()
+	l.mu.unlock()
 	// We lost the race to a Post: the permit is (or will be) in the
 	// channel. Take it — the notification wins over the cancellation —
 	// and keep any hand-off chain moving.
 	s.forward(<-w.ch)
+	putWaiter(w)
 	s.parkEnd(t0)
 	if s.st != nil {
 		s.st.Waits.Inc()
@@ -622,53 +1045,27 @@ func (s *Sem) WaitCtx(ctx context.Context) bool {
 	return true
 }
 
-// Value returns the current permit count. Negative values are never
-// returned; the number of blocked waiters is reported by Waiters.
-func (s *Sem) Value() int64 {
-	s.mu.lock()
-	defer s.mu.unlock()
-	return s.count
-}
+// Value returns the current banked permit count. Negative values are
+// never returned; the number of blocked waiters is reported by Waiters.
+func (s *Sem) Value() int64 { return s.count.Load() }
 
-// Waiters returns the number of goroutines currently blocked in Wait.
+// Waiters returns the number of goroutines currently blocked in Wait
+// (a racy snapshot summed across the lanes).
 func (s *Sem) Waiters() int {
-	s.mu.lock()
-	defer s.mu.unlock()
+	ls := s.ls.Load()
+	if ls == nil {
+		return 0
+	}
 	n := 0
-	for w := s.head; w != nil; w = w.next {
-		n++
+	for i := range ls.lanes {
+		n += int(ls.lanes[i].n.Load())
 	}
 	return n
 }
 
-func (s *Sem) enqueueLocked(w *waiter) {
-	w.parkedAt = time.Now()
-	if s.tail == nil {
-		s.head, s.tail = w, w
-	} else {
-		s.tail.next = w
-		s.tail = w
-	}
-}
-
-// unlinkLocked removes w from the waiter list, reporting whether it was
-// still present.
-func (s *Sem) unlinkLocked(w *waiter) bool {
-	var prev *waiter
-	for cur := s.head; cur != nil; cur = cur.next {
-		if cur == w {
-			if prev == nil {
-				s.head = cur.next
-			} else {
-				prev.next = cur.next
-			}
-			if s.tail == cur {
-				s.tail = prev
-			}
-			cur.next = nil
-			return true
-		}
-		prev = cur
-	}
-	return false
+// sortAgesDescending orders park ages longest-first, the presentation
+// order WaiterAges promises (per-lane FIFO gives each lane a sorted run;
+// the merge across lanes needs the sort).
+func sortAgesDescending(ages []time.Duration) {
+	sort.Slice(ages, func(i, j int) bool { return ages[i] > ages[j] })
 }

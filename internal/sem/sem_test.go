@@ -147,6 +147,7 @@ func TestWaitTimeoutRaceKeepsPermit(t *testing.T) {
 
 func TestFIFOHandOff(t *testing.T) {
 	s := NewBinary()
+	s.SetLanes(1) // global FIFO is a single-lane property
 	const n = 8
 	order := make(chan int, n)
 	ready := make(chan struct{}, n)

@@ -71,6 +71,14 @@ type Config struct {
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
 
+	// ClockEpochBlock is the number of commit timestamps a clock shard
+	// claims from the global version counter per refill (epoch.go).
+	// Default 64; 1 disables batching (every commit bumps the global
+	// counter directly, the classic TL2 discipline). AlgHTM always runs
+	// unbatched: a hardware attempt cannot extend its snapshot, so the
+	// batched clock's watermark lag would turn into extra aborts.
+	ClockEpochBlock int
+
 	// StormWindow is the number of attempt outcomes per abort-storm
 	// watchdog window. Default 256. StormHigh and StormLow are the
 	// hysteresis thresholds on the windowed abort rate: a window at or
@@ -113,6 +121,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BackoffMax <= 0 {
 		c.BackoffMax = 100 * time.Microsecond
+	}
+	if c.ClockEpochBlock <= 0 {
+		c.ClockEpochBlock = defaultEpochBlock
+	}
+	if c.ClockEpochBlock > epochRemMask {
+		c.ClockEpochBlock = epochRemMask
+	}
+	if c.Algorithm == AlgHTM {
+		c.ClockEpochBlock = 1
 	}
 	if c.StormWindow <= 0 {
 		c.StormWindow = 256
@@ -216,6 +233,12 @@ type Engine struct {
 	orecs    []orec
 	orecMask uint64
 
+	// epoch is the batched version clock's per-shard timestamp caches
+	// (epoch.go); nil when ClockEpochBlock is 1. epochK is the
+	// effective block size.
+	epoch  []epochShard
+	epochK uint64
+
 	// serialGate is the lock-elision gate: every optimistic attempt
 	// holds the read side; a serial (irrevocable) transaction holds the
 	// write side, excluding all optimism while it runs.
@@ -271,6 +294,7 @@ func NewEngine(cfg Config) *Engine {
 	}
 	e.rngState.Store(seed)
 	e.debug.Store(debugDefault)
+	e.initEpoch()
 	return e
 }
 
@@ -280,7 +304,12 @@ func (e *Engine) Config() Config { return e.cfg }
 // Name returns the engine's label.
 func (e *Engine) Name() string { return e.cfg.Name }
 
-// Now returns the current global version clock (for diagnostics).
+// Now returns the top of claimed timestamp space, an upper bound on
+// every commit timestamp issued so far. With the epoch-batched clock
+// (Config.ClockEpochBlock > 1) the bound is not tight: shards hold
+// claimed-but-undrawn timestamps, so Now() may run up to
+// shards×ClockEpochBlock ahead of the newest committed version. It is
+// monotonic and strictly diagnostic — no engine decision reads it.
 func (e *Engine) Now() uint64 { return e.clock.Load() }
 
 // wakeSeq mints causal wake ids. Process-global, not per-engine: one
@@ -312,7 +341,7 @@ func (e *Engine) newTx(attempt int) *Tx {
 		tx = &Tx{e: e}
 	}
 	tx.id = e.txid.Add(1)
-	tx.start = e.clock.Load()
+	tx.start = e.readStamp()
 	tx.mode = m
 	tx.attempt = attempt
 	tx.status = txActive
@@ -329,8 +358,8 @@ func (e *Engine) newTx(attempt int) *Tx {
 	return tx
 }
 
-// recycle returns a finished Tx to the pool. Log slices keep their
-// capacity; handler slices were already cleared by commit/rollback.
+// recycle returns a finished Tx to the pool. Log and handler slices
+// keep their capacity — a steady-state attempt appends into warm arrays.
 func (e *Engine) recycle(tx *Tx) {
 	if tx.status == txActive {
 		return // never recycle a live transaction
@@ -339,8 +368,8 @@ func (e *Engine) recycle(tx *Tx) {
 	tx.writes = tx.writes[:0]
 	tx.undo = tx.undo[:0]
 	tx.owned = tx.owned[:0]
-	tx.onCommit = nil
-	tx.onAbort = nil
+	tx.onCommit = clearFuncs(tx.onCommit)
+	tx.onAbort = clearFuncs(tx.onAbort)
 	tx.pend = tx.pend[:0]
 	e.txPool.Put(tx)
 }
@@ -503,7 +532,7 @@ func (e *Engine) runSerial(fn func(*Tx), attempts int) error {
 	tx := &Tx{
 		e:       e,
 		id:      e.txid.Add(1),
-		start:   e.clock.Load(),
+		start:   e.readStamp(),
 		mode:    modeSerial,
 		status:  txActive,
 		attempt: attempts,
@@ -523,7 +552,10 @@ func (e *Engine) runSerial(fn func(*Tx), attempts int) error {
 
 	if tx.status == txActive {
 		// Serial stores are in place; bump the clock so optimistic
-		// readers that observed pre-serial versions revalidate.
+		// readers that observed pre-serial versions revalidate. The
+		// bump claims one timestamp off the top of claimed space, so
+		// it can never overlap an epoch shard's outstanding block —
+		// later refills start above it (epoch.go).
 		e.clock.Add(1)
 		tx.status = txCommitted
 		tx.releaseSerial()

@@ -1,0 +1,147 @@
+package stm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Epoch-batched version clock.
+//
+// A TL2-style engine serializes every writer commit through one global
+// counter: commit = clock.Add(1). On one core that add is free; at four
+// and eight cores the cache line carrying the counter ping-pongs between
+// packages and the add becomes the hottest shared write in the whole
+// runtime — measurable as flattened commit throughput in the parsecbench
+// sweep. The batched clock amortizes it: the global counter only moves
+// in blocks of Config.ClockEpochBlock timestamps, and commits draw
+// individual timestamps from per-shard caches of those blocks with one
+// uncontended CAS.
+//
+// Layout. Each shard packs its state into a single atomic word:
+//
+//	bits 16-63 — next: the next timestamp this shard will hand out
+//	bits 0-15  — rem: how many timestamps remain in the current block
+//
+// Drawing a timestamp is a CAS that bumps next and decrements rem. When
+// rem hits zero the drawer refills under the shard mutex: one
+// clock.Add(K) claims the half-open block (base-K, base], which the
+// shard then hands out in order. The global clock is therefore the top
+// of *claimed* timestamp space — every timestamp ever handed out is
+// ≤ clock, which keeps Engine.Now() an upper bound (see its doc).
+//
+// Correctness. TL2's read rule — accept an unlocked version v iff
+// v ≤ tx.start — is sound only if every commit that stamped v ≤ start
+// had locked its write set before the reader chose start. With a
+// monolithic clock, start = clock.Load() gives that for free (stamps
+// are drawn after locking, so a stamp ≤ the reader's load happened
+// before it). With batching, a commit can stamp from a block claimed
+// long ago, *below* the current clock, so clock.Load() is no longer a
+// safe start. Instead readers use the watermark (readStamp): one less
+// than the minimum `next` across shards. Per-shard `next` is monotonic
+// (a refilled block always begins above the global clock, hence above
+// everything the shard handed out before), so every future draw from
+// any shard is > watermark — a version ≤ the watermark was drawn, and
+// therefore locked, before the reader began. Timestamps are globally
+// unique: blocks are disjoint slices of claimed space, and the serial
+// commit's and the write-through rollback's clock.Add(1) each claim a
+// fresh timestamp above all outstanding blocks, so a serial bump can
+// never hand a shard a stale or overlapping block (pinned by
+// TestEpochSerialOptimisticInterleave).
+//
+// The watermark lags the true commit frontier by up to shards×K
+// timestamps, so readers see "version > start" more often than under
+// the monolithic clock. That path extends: revalidate the read set and,
+// on success, accept the read (see readShared) — the lag costs an
+// O(|reads|) validation, never a false abort.
+const (
+	// epochRemBits is the width of the packed remaining-count field;
+	// block sizes must stay below 1<<epochRemBits.
+	epochRemBits = 16
+	epochRemMask = (1 << epochRemBits) - 1
+
+	// epochShardCount is the number of timestamp caches (power of two).
+	// More shards cut refill contention but deepen the watermark lag;
+	// eight covers the GOMAXPROCS range the sweep measures.
+	epochShardCount = 8
+
+	// defaultEpochBlock is the Config.ClockEpochBlock default: one
+	// global add per 64 commits on a shard.
+	defaultEpochBlock = 64
+)
+
+// epochShard is one timestamp cache, padded so neighbouring shards do
+// not share a cache line (the word is the whole point of the split).
+type epochShard struct {
+	w  atomic.Uint64 // next<<epochRemBits | rem
+	mu sync.Mutex    // serializes refills only
+	_  [40]byte
+}
+
+// initEpoch sizes the shard array for the configured block size. Block
+// size 1 keeps the monolithic clock: every stamp is a direct
+// clock.Add(1) and readStamp degenerates to clock.Load(). That is the
+// forced mode for AlgHTM — a hardware attempt cannot extend its
+// snapshot, so the watermark lag would convert directly into aborts.
+func (e *Engine) initEpoch() {
+	e.epochK = uint64(e.cfg.ClockEpochBlock)
+	if e.epochK <= 1 {
+		return
+	}
+	e.epoch = make([]epochShard, epochShardCount)
+	for i := range e.epoch {
+		// next=1, rem=0: timestamp 0 is the birth version of every
+		// orec and is never handed out.
+		e.epoch[i].w.Store(1 << epochRemBits)
+	}
+}
+
+// commitStamp draws this commit's write version: a globally unique
+// timestamp, drawn after the write set is locked (its callers in
+// tryCommit sit past lock acquisition, which is what the watermark
+// argument above leans on).
+func (e *Engine) commitStamp(txid uint64) uint64 {
+	if e.epochK <= 1 {
+		return e.clock.Add(1)
+	}
+	sh := &e.epoch[txid&(epochShardCount-1)]
+	for {
+		w := sh.w.Load()
+		next, rem := w>>epochRemBits, w&epochRemMask
+		if rem > 0 {
+			if sh.w.CompareAndSwap(w, (next+1)<<epochRemBits|(rem-1)) {
+				return next
+			}
+			continue
+		}
+		// Block exhausted: refill. The mutex only serializes refills —
+		// with rem==0 no concurrent drawer can CAS the word, so the
+		// holder may install the new block with a plain store.
+		sh.mu.Lock()
+		if sh.w.Load()&epochRemMask != 0 {
+			sh.mu.Unlock() // another drawer refilled while we waited
+			continue
+		}
+		base := e.clock.Add(e.epochK) // claims the block (base-K, base]
+		first := base - e.epochK + 1
+		sh.w.Store((first+1)<<epochRemBits | (e.epochK - 1))
+		sh.mu.Unlock()
+		return first
+	}
+}
+
+// readStamp chooses a reader snapshot: the watermark below which every
+// timestamp has already been drawn — and, per the commit protocol,
+// locked — by the time this call returns. Per-shard next is monotonic,
+// so the minimum across shards bounds every future draw from below.
+func (e *Engine) readStamp() uint64 {
+	if e.epochK <= 1 {
+		return e.clock.Load()
+	}
+	wm := ^uint64(0)
+	for i := range e.epoch {
+		if next := e.epoch[i].w.Load() >> epochRemBits; next < wm {
+			wm = next
+		}
+	}
+	return wm - 1 // next is never below 1
+}

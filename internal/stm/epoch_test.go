@@ -1,0 +1,171 @@
+package stm
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestEpochConfigDefaults(t *testing.T) {
+	if got := NewEngine(Config{}).Config().ClockEpochBlock; got != defaultEpochBlock {
+		t.Fatalf("default ClockEpochBlock = %d, want %d", got, defaultEpochBlock)
+	}
+	if got := NewEngine(Config{ClockEpochBlock: 7}).Config().ClockEpochBlock; got != 7 {
+		t.Fatalf("explicit ClockEpochBlock = %d, want 7", got)
+	}
+	if got := NewEngine(Config{ClockEpochBlock: 1 << 20}).Config().ClockEpochBlock; got != epochRemMask {
+		t.Fatalf("huge ClockEpochBlock = %d, want cap %d", got, epochRemMask)
+	}
+	// HTM cannot extend its snapshot, so it must run unbatched.
+	if got := NewEngine(Config{Algorithm: AlgHTM, ClockEpochBlock: 64}).Config().ClockEpochBlock; got != 1 {
+		t.Fatalf("HTM ClockEpochBlock = %d, want forced 1", got)
+	}
+	if e := NewEngine(Config{ClockEpochBlock: 1}); e.epoch != nil {
+		t.Fatal("unbatched engine allocated epoch shards")
+	}
+}
+
+// Commit stamps are globally unique and never zero, across shards and
+// across interleaved direct claims (serial bumps use clock.Add(1)).
+func TestEpochStampsUnique(t *testing.T) {
+	e := NewEngine(Config{ClockEpochBlock: 4})
+	const workers, per = 8, 1000
+	stamps := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]uint64, 0, per)
+			for i := 0; i < per; i++ {
+				if i%17 == 0 {
+					// The serial path's direct claim, racing shard refills.
+					out = append(out, e.clock.Add(1))
+				} else {
+					out = append(out, e.commitStamp(uint64(w*per+i)))
+				}
+			}
+			stamps[w] = out
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool, workers*per)
+	for w := range stamps {
+		for _, s := range stamps[w] {
+			if s == 0 {
+				t.Fatal("stamp 0 issued (reserved for orec birth versions)")
+			}
+			if seen[s] {
+				t.Fatalf("stamp %d issued twice", s)
+			}
+			seen[s] = true
+			if top := e.Now(); s > top {
+				t.Fatalf("stamp %d above Now() %d — Now is not an upper bound", s, top)
+			}
+		}
+	}
+}
+
+// The watermark is a strict lower bound on future draws: no stamp drawn
+// after a readStamp may be ≤ it. This is the property the read rule
+// (accept version ≤ start) leans on.
+func TestEpochWatermarkBoundsFutureDraws(t *testing.T) {
+	e := NewEngine(Config{ClockEpochBlock: 4})
+	var mu sync.Mutex
+	low := ^uint64(0) // lowest stamp drawn after the fence
+	var wg sync.WaitGroup
+	fence := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-fence
+			for i := 0; i < 500; i++ {
+				s := e.commitStamp(uint64(w*500 + i))
+				mu.Lock()
+				if s < low {
+					low = s
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	// Pre-fence churn so shards hold partially drained blocks.
+	for i := 0; i < 100; i++ {
+		e.commitStamp(uint64(i))
+	}
+	wm := e.readStamp()
+	close(fence)
+	wg.Wait()
+	if low <= wm {
+		t.Fatalf("stamp %d drawn after readStamp() = %d — watermark is not a lower bound", low, wm)
+	}
+}
+
+// Serial commits interleaved with optimistic ones (the satellite-3
+// regression): the serial path's clock.Add(1) must not hand any epoch
+// shard a stale or overlapping block, every update must survive, and
+// snapshots must stay consistent throughout.
+func TestEpochSerialOptimisticInterleave(t *testing.T) {
+	for _, alg := range []Algorithm{AlgWriteThrough, AlgWriteBack} {
+		e := NewEngine(Config{Algorithm: alg, ClockEpochBlock: 4, Name: "interleave-" + alg.String()})
+		a := NewVar(e, 0)
+		b := NewVar(e, 0)
+		const workers, per = 6, 300
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					add := func(tx *Tx) {
+						// The invariant a == b holds transactionally;
+						// a torn snapshot shows up as a skewed pair.
+						av, bv := Read(tx, a), Read(tx, b)
+						if av != bv {
+							t.Errorf("torn snapshot: a=%d b=%d", av, bv)
+						}
+						Write(tx, a, av+1)
+						Write(tx, b, bv+1)
+					}
+					if i%13 == 0 {
+						// Irrevocable: commits serially, bumps the raw clock.
+						if err := e.AtomicRelaxed(add); err != nil {
+							t.Errorf("relaxed: %v", err)
+						}
+					} else if err := e.Atomic(add); err != nil {
+						t.Errorf("atomic: %v", err)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+		want := workers * per
+		e.MustAtomic(func(tx *Tx) {
+			if av, bv := Read(tx, a), Read(tx, b); av != want || bv != want {
+				t.Errorf("%s: a=%d b=%d after %d increments", alg, av, bv, want)
+			}
+		})
+		if top := e.Now(); top < uint64(want) {
+			t.Errorf("%s: Now() = %d below %d commits", alg, top, want)
+		}
+	}
+}
+
+// An unbatched engine (block size 1) keeps the classic TL2 shape:
+// readStamp is exactly the clock and commitStamp is a direct bump.
+func TestEpochUnbatchedCompat(t *testing.T) {
+	e := NewEngine(Config{ClockEpochBlock: 1})
+	if got, want := e.readStamp(), e.Now(); got != want {
+		t.Fatalf("unbatched readStamp = %d, want clock %d", got, want)
+	}
+	s := e.commitStamp(1)
+	if s != e.Now() {
+		t.Fatalf("unbatched commitStamp = %d, Now() = %d — want identical", s, e.Now())
+	}
+	if got := e.readStamp(); got != s {
+		t.Fatalf("readStamp after stamp = %d, want %d", got, s)
+	}
+}

@@ -283,8 +283,15 @@ func (tx *Tx) readShared(b *varBase) any {
 			if tx.mode == modeHTM || !tx.extend() {
 				tx.abortConflictOn(b)
 			}
-			// Re-read under the extended snapshot.
-			continue
+			// Extension succeeded: accept this read as logged below.
+			// The prior reads were unchanged through the extension
+			// instant, so all of them coexisted with (val, w1) at the
+			// moment of the consistent w1==w2 pair above — the snapshot
+			// is consistent even if w1 still exceeds the new start.
+			// (Under the epoch-batched clock the watermark can lag a
+			// freshly drawn version indefinitely; looping until
+			// version ≤ start would spin, so acceptance is load-bearing
+			// there, not just an optimization.)
 		}
 		tx.reads = append(tx.reads, readEntry{o, versionOf(w1), b})
 		tx.noteAccess()
@@ -293,9 +300,11 @@ func (tx *Tx) readShared(b *varBase) any {
 }
 
 // extend revalidates every logged read and, if all still hold, advances
-// the snapshot to the current clock. Reports success.
+// the snapshot to the clock's read watermark (epoch.go). Reports
+// success. The watermark is sampled before validation: the reads are
+// then known unchanged at some instant at or after the new snapshot.
 func (tx *Tx) extend() bool {
-	now := tx.e.clock.Load()
+	now := tx.e.readStamp()
 	for _, r := range tx.reads {
 		w := r.o.load()
 		if isLocked(w) {
@@ -447,7 +456,9 @@ func (tx *Tx) tryCommit() bool {
 			tx.rollback(causeConflict)
 			return false
 		}
-		wv := tx.e.clock.Add(1)
+		// Write set locked since encounter time, so the stamp is drawn
+		// after locking — the ordering the epoch watermark relies on.
+		wv := tx.e.commitStamp(tx.id)
 		for i := range tx.owned {
 			tx.owned[i].o.release(wv)
 		}
@@ -486,7 +497,8 @@ func (tx *Tx) tryCommit() bool {
 			tx.rollback(causeConflict)
 			return false
 		}
-		wv := tx.e.clock.Add(1)
+		// Every write orec is held by now: the stamp postdates the locks.
+		wv := tx.e.commitStamp(tx.id)
 		for i := range tx.writes {
 			tx.writes[i].b.val.Store(tx.writes[i].v)
 		}
@@ -527,6 +539,10 @@ func (tx *Tx) rollback(cause abortCause) {
 		if tx.mode == modeWriteThrough {
 			// Concurrent readers may have observed intermediate
 			// values; publish a fresh version to invalidate them.
+			// Deliberately a direct global-clock claim, not a shard
+			// draw: the restored locations must carry a version above
+			// every reader watermark, and the fresh top is (uniquely)
+			// above all outstanding epoch blocks.
 			wv := tx.e.clock.Add(1)
 			for i := range tx.owned {
 				tx.owned[i].o.release(wv)
@@ -541,8 +557,8 @@ func (tx *Tx) rollback(cause abortCause) {
 	for i := len(tx.onAbort) - 1; i >= 0; i-- {
 		tx.onAbort[i]()
 	}
-	tx.onAbort = nil
-	tx.onCommit = nil
+	tx.onAbort = clearFuncs(tx.onAbort)
+	tx.onCommit = clearFuncs(tx.onCommit)
 	tx.noteAborted(cause)
 	if profiling.Load() {
 		tx.e.recordAbort(cause, tx.conflictB, tx.label)
@@ -564,10 +580,23 @@ func (tx *Tx) rollback(cause abortCause) {
 	}
 }
 
+// clearFuncs empties a handler slice but keeps its capacity, dropping
+// the closure references so the pool does not pin them alive.
+func clearFuncs(fs []func()) []func() {
+	fs = fs[:cap(fs)]
+	for i := range fs {
+		fs[i] = nil
+	}
+	return fs[:0]
+}
+
 // runCommitHandlers executes onCommit handlers in registration order.
+// The slice header is reset first, but no append can land in the shared
+// backing array while hs runs: the transaction is already committed, so
+// any OnCommit from a handler panics via ensureActive.
 func (tx *Tx) runCommitHandlers() {
 	hs := tx.onCommit
-	tx.onCommit = nil
+	tx.onCommit = tx.onCommit[:0]
 	for _, f := range hs {
 		f()
 	}
